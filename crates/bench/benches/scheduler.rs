@@ -1,0 +1,45 @@
+//! Spatial-compiler cost: placement (simulated annealing) + routing
+//! (negotiated congestion) for a multi-region configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revel_core::dfg::{Dfg, OpCode, Region};
+use revel_core::fabric::{LaneConfig, Mesh};
+use revel_core::isa::{InPortId, OutPortId};
+use revel_core::scheduler::SpatialScheduler;
+
+fn cholesky_like_regions() -> Vec<Region> {
+    let mut point = Dfg::new("point");
+    let akk = point.input(InPortId(6));
+    let ia = point.op(OpCode::Recip, &[akk]);
+    let is = point.op(OpCode::Rsqrt, &[akk]);
+    point.output(ia, OutPortId(6));
+    point.output(is, OutPortId(7));
+
+    let mut matrix = Dfg::new("matrix");
+    let s = matrix.input_scalar(InPortId(5));
+    let a = matrix.input(InPortId(2));
+    let b = matrix.input(InPortId(3));
+    let prod = matrix.op(OpCode::Mul, &[s, a]);
+    let upd = matrix.op(OpCode::Sub, &[b, prod]);
+    matrix.output(upd, OutPortId(1));
+
+    vec![Region::temporal("point", point), Region::systolic("matrix", matrix, 4)]
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let regions = cholesky_like_regions();
+    let mut g = c.benchmark_group("scheduler");
+    for iters in [500usize, 4000] {
+        g.bench_function(format!("place-route-sa{iters}"), |bench| {
+            bench.iter(|| {
+                let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+                let s = SpatialScheduler::new(mesh).with_sa_iterations(iters);
+                s.schedule(&regions).expect("schedules")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+use revel_core::{experiments as ex, Bench};
+
+fn main() {
+    println!("{}", ex::fig01_percent_ideal());
+    println!("{}", ex::fig06_dep_distance());
+    println!("{}", ex::fig07_taxonomy_area());
+    println!("{}", ex::tab04_asic_models());
+    println!("{}", ex::tab06_area_power());
+
+    println!("--- running small-size suite (sim) ---");
+    let small = ex::run_comparisons(&Bench::suite_small());
+    println!("{}", ex::fig19_batch1(&small));
+
+    println!("--- running large-size suite (sim) ---");
+    let large = ex::run_comparisons(&Bench::suite_large());
+    println!("{}", ex::fig08_spatial_baselines(&large));
+    println!("{}", ex::fig19_batch1(&large));
+    println!("{}", ex::fig23_bottlenecks(&large));
+    println!("{}", ex::fig25_perf_per_area(&large));
+    println!("{}", ex::tab07_asic_overhead(&large));
+
+    println!("{}", ex::fig20_batch8());
+    println!("{}", ex::fig21_cpu_scaling());
+    println!("{}", ex::fig22_ablation());
+    println!("{}", ex::fig24_dpe_sensitivity());
+}

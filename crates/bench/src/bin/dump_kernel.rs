@@ -1,0 +1,59 @@
+//! Disassembles a kernel's REVEL program (the Fig. 15/17-style listing).
+//!
+//! Usage: `cargo run -p revel-bench --bin dump_kernel --release [kernel] [n]`
+//! where kernel is one of: solver, cholesky, qr, svd, fft, gemm, fir.
+
+use revel_core::compiler::BuildCfg;
+use revel_core::isa::disassemble;
+use revel_core::sim::ControlStep;
+use revel_core::Bench;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "solver".into());
+    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let bench = match name.as_str() {
+        "solver" => Bench::Solver { n },
+        "cholesky" => Bench::Cholesky { n },
+        "qr" => Bench::Qr { n },
+        "svd" => Bench::Svd { n },
+        "fft" => Bench::Fft { n: n.max(8).next_power_of_two() },
+        "gemm" => Bench::Gemm { m: n, k: 16, p: 64 },
+        "fir" => Bench::Fir { taps: 37, n: 1024 },
+        other => {
+            eprintln!("unknown kernel {other}");
+            std::process::exit(1);
+        }
+    };
+    let built = bench.workload().build(&BuildCfg::revel(bench.lanes()));
+    println!(
+        "{} — {} control steps, {} fabric config(s)\n",
+        built.program.name,
+        built.program.control.len(),
+        built.program.configs.len()
+    );
+    for (ci, regions) in built.program.configs.iter().enumerate() {
+        println!("config {ci}:");
+        for r in regions {
+            println!(
+                "  region '{}' ({}, unroll {}): {} instructions, in {:?}, out {:?}",
+                r.name,
+                r.kind,
+                r.unroll,
+                r.dfg.num_instructions(),
+                r.input_ports().iter().map(|p| p.0).collect::<Vec<_>>(),
+                r.output_ports().iter().map(|p| p.0).collect::<Vec<_>>(),
+            );
+        }
+    }
+    println!();
+    let commands: Vec<_> = built
+        .program
+        .control
+        .iter()
+        .filter_map(|s| match s {
+            ControlStep::Command(vc) => Some(vc.clone()),
+            ControlStep::Host(_) => None,
+        })
+        .collect();
+    print!("{}", disassemble(&commands));
+}

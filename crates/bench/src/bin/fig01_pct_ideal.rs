@@ -1,0 +1,4 @@
+//! Figure 1: percent of ideal performance for CPU/DSP/GPU.
+fn main() {
+    println!("{}", revel_core::experiments::fig01_percent_ideal());
+}

@@ -1,0 +1,4 @@
+//! Figure 6: inter-region dependence distances.
+fn main() {
+    println!("{}", revel_core::experiments::fig06_dep_distance());
+}

@@ -1,0 +1,4 @@
+//! Figure 7: spatial-architecture taxonomy PE areas.
+fn main() {
+    println!("{}", revel_core::experiments::fig07_taxonomy_area());
+}

@@ -1,0 +1,6 @@
+//! Figure 8: spatial baselines vs ideal.
+use revel_core::{experiments, Bench};
+fn main() {
+    let comps = experiments::run_comparisons(&Bench::suite_large());
+    println!("{}", experiments::fig08_spatial_baselines(&comps));
+}

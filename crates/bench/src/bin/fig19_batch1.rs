@@ -1,0 +1,9 @@
+//! Figure 19: batch-1 speedups over the DSP.
+use revel_core::{experiments, Bench};
+fn main() {
+    for (label, suite) in [("small", Bench::suite_small()), ("large", Bench::suite_large())] {
+        println!("--- {label} sizes ---");
+        let comps = experiments::run_comparisons(&suite);
+        println!("{}", experiments::fig19_batch1(&comps));
+    }
+}

@@ -1,0 +1,4 @@
+//! Figure 20: batch-8 speedups over the DSP.
+fn main() {
+    println!("{}", revel_core::experiments::fig20_batch8());
+}

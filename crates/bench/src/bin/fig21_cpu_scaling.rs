@@ -1,0 +1,4 @@
+//! Figure 21: MKL thread scaling vs REVEL (Cholesky).
+fn main() {
+    println!("{}", revel_core::experiments::fig21_cpu_scaling());
+}

@@ -1,0 +1,4 @@
+//! Figure 22: mechanism ablation ladder.
+fn main() {
+    println!("{}", revel_core::experiments::fig22_ablation());
+}

@@ -1,0 +1,6 @@
+//! Figure 23: REVEL cycle-level bottleneck breakdown.
+use revel_core::{experiments, Bench};
+fn main() {
+    let comps = experiments::run_comparisons(&Bench::suite_large());
+    println!("{}", experiments::fig23_bottlenecks(&comps));
+}

@@ -1,0 +1,4 @@
+//! Figure 24: dataflow-PE count sensitivity.
+fn main() {
+    println!("{}", revel_core::experiments::fig24_dpe_sensitivity());
+}

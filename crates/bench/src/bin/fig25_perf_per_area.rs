@@ -1,0 +1,6 @@
+//! Figure 25: performance per mm^2 normalized to the CPU.
+use revel_core::{experiments, Bench};
+fn main() {
+    let comps = experiments::run_comparisons(&Bench::suite_large());
+    println!("{}", experiments::fig25_perf_per_area(&comps));
+}

@@ -1,0 +1,4 @@
+//! Table IV: ideal ASIC analytical models.
+fn main() {
+    println!("{}", revel_core::experiments::tab04_asic_models());
+}

@@ -1,0 +1,4 @@
+//! Table VI: area and power breakdown.
+fn main() {
+    println!("{}", revel_core::experiments::tab06_area_power());
+}

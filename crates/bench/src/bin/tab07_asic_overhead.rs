@@ -1,0 +1,6 @@
+//! Table VII: power/area overheads vs iso-performance ASICs.
+use revel_core::{experiments, Bench};
+fn main() {
+    let comps = experiments::run_comparisons(&Bench::suite_large());
+    println!("{}", experiments::tab07_asic_overhead(&comps));
+}

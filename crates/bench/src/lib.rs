@@ -1,0 +1,8 @@
+//! # revel-bench — the experiment harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) plus Criterion
+//! microbenchmarks of the infrastructure itself (`benches/`). Run
+//! everything with `cargo run -p revel-bench --bin all_experiments
+//! --release`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,38 @@
+//! # revel-core — the REVEL reproduction, assembled
+//!
+//! Top-level crate of the reproduction of *"A Hybrid Systolic-Dataflow
+//! Architecture for Inductive Matrix Algorithms"* (HPCA 2020). It re-exports
+//! the full stack and provides:
+//!
+//! * [`Bench`] — the seven evaluation kernels at Table V parameters, with
+//!   every comparison point attached (REVEL and the two spatial baselines
+//!   on the cycle-level simulator; DSP/CPU/GPU/ASIC as calibrated
+//!   analytical models);
+//! * [`experiments`] — one generator per paper table and figure, each
+//!   returning a formatted [`report::Table`];
+//! * [`report`] — plain-text table rendering for the harness binaries.
+//!
+//! ```no_run
+//! use revel_core::{Bench, Comparison};
+//! let bench = Bench::cholesky_small();
+//! let c = bench.compare().unwrap();
+//! assert!(c.speedup_vs_dsp() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+mod suite;
+
+pub use suite::{Bench, Comparison};
+
+pub use revel_compiler as compiler;
+pub use revel_dfg as dfg;
+pub use revel_fabric as fabric;
+pub use revel_isa as isa;
+pub use revel_models as models;
+pub use revel_scheduler as scheduler;
+pub use revel_sim as sim;
+pub use revel_workloads as workloads;

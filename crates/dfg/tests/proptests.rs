@@ -1,0 +1,142 @@
+//! Property-based tests for dataflow-graph evaluation: predication
+//! propagation, accumulator algebra, and structural invariants.
+
+use proptest::prelude::*;
+use revel_dfg::{Dfg, OpCode, VecVal, MAX_VEC_WIDTH};
+use revel_isa::{InPortId, OutPortId, RateFsm};
+
+fn arb_lanes(width: usize) -> impl Strategy<Value = (Vec<f64>, u8)> {
+    (
+        proptest::collection::vec(-100.0f64..100.0, width..=width),
+        1u8..(1 << width),
+    )
+}
+
+proptest! {
+    /// Elementwise binary ops: output predicate is the AND of input
+    /// predicates, and valid lanes compute the scalar op exactly.
+    #[test]
+    fn binary_op_predication(
+        width in 1usize..=MAX_VEC_WIDTH,
+        a in proptest::collection::vec(-50.0f64..50.0, MAX_VEC_WIDTH),
+        b in proptest::collection::vec(-50.0f64..50.0, MAX_VEC_WIDTH),
+        pa in 0u8..=255,
+        pb in 0u8..=255,
+    ) {
+        let mut g = Dfg::new("bin");
+        let x = g.input(InPortId(0));
+        let y = g.input(InPortId(1));
+        let s = g.op(OpCode::Add, &[x, y]);
+        g.output(s, OutPortId(0));
+        let mut ev = g.evaluator(width);
+        let va = VecVal::with_pred(&a[..width], pa);
+        let vb = VecVal::with_pred(&b[..width], pb);
+        let out = ev.fire(&[va, vb])[0].1;
+        prop_assert_eq!(out.pred(), va.pred() & vb.pred());
+        for k in 0..width {
+            match (va.get(k), vb.get(k)) {
+                (Some(x), Some(y)) => prop_assert_eq!(out.get(k), Some(x + y)),
+                _ => prop_assert_eq!(out.get(k), None),
+            }
+        }
+    }
+
+    /// Scalar accumulator equals the running sum of valid lanes,
+    /// partitioned by the emission length.
+    #[test]
+    fn accumulator_partitions_sums(
+        (lanes, pred) in arb_lanes(4),
+        groups in 1i64..5,
+        fires_per_group in 1i64..5,
+    ) {
+        let mut g = Dfg::new("acc");
+        let a = g.input(InPortId(0));
+        let acc = g.accum(a, RateFsm::fixed(fires_per_group));
+        g.output(acc, OutPortId(0));
+        let mut ev = g.evaluator(4);
+        let v = VecVal::with_pred(&lanes, pred);
+        let per_fire = v.sum_valid();
+        let mut emitted = Vec::new();
+        for _ in 0..groups * fires_per_group {
+            for (_, out) in ev.fire(&[v]) {
+                if out.any_valid() {
+                    emitted.push(out.get(0).unwrap());
+                }
+            }
+        }
+        prop_assert_eq!(emitted.len() as i64, groups);
+        for e in emitted {
+            prop_assert!((e - per_fire * fires_per_group as f64).abs() < 1e-9);
+        }
+    }
+
+    /// AccumVec is an elementwise (per-lane) accumulator: lanes never mix.
+    #[test]
+    fn accum_vec_lanes_independent(
+        (lanes, pred) in arb_lanes(4),
+        fires in 1i64..6,
+    ) {
+        let mut g = Dfg::new("vacc");
+        let a = g.input(InPortId(0));
+        let acc = g.accum_vec(a, RateFsm::fixed(fires));
+        g.output(acc, OutPortId(0));
+        let mut ev = g.evaluator(4);
+        let v = VecVal::with_pred(&lanes, pred);
+        let mut result = None;
+        for _ in 0..fires {
+            for (_, out) in ev.fire(&[v]) {
+                if out.any_valid() {
+                    result = Some(out);
+                }
+            }
+        }
+        let out = result.expect("one emission");
+        for k in 0..4 {
+            match v.get(k) {
+                Some(x) => {
+                    let got = out.get(k).expect("lane valid");
+                    prop_assert!((got - x * fires as f64).abs() < 1e-9);
+                }
+                None => prop_assert_eq!(out.get(k), None),
+            }
+        }
+    }
+
+    /// Critical-path latency is monotone under appending ops.
+    #[test]
+    fn critical_path_monotone(n_ops in 1usize..10) {
+        let mut g = Dfg::new("chain");
+        let a = g.input(InPortId(0));
+        let mut v = a;
+        let mut last = 0;
+        for i in 0..n_ops {
+            v = g.op(if i % 2 == 0 { OpCode::Add } else { OpCode::Mul }, &[v, a]);
+            let now = g.critical_path_latency();
+            prop_assert!(now >= last);
+            last = now;
+        }
+        g.output(v, OutPortId(0));
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_instructions(), n_ops);
+    }
+
+    /// FU demand counts every instruction exactly once.
+    #[test]
+    fn fu_demand_total(n_add in 0usize..6, n_mul in 0usize..6, n_div in 0usize..3) {
+        let mut g = Dfg::new("mix");
+        let a = g.input(InPortId(0));
+        let mut v = a;
+        for _ in 0..n_add {
+            v = g.op(OpCode::Add, &[v, a]);
+        }
+        for _ in 0..n_mul {
+            v = g.op(OpCode::Mul, &[v, a]);
+        }
+        for _ in 0..n_div {
+            v = g.op(OpCode::Div, &[v, a]);
+        }
+        g.output(v, OutPortId(0));
+        let total: usize = g.fu_demand().values().sum();
+        prop_assert_eq!(total, n_add + n_mul + n_div);
+    }
+}

@@ -1,0 +1,361 @@
+//! Area and energy constants (28 nm, from the paper's Synopsys DC
+//! synthesis, Table VI and §VIII-A) plus the event-based power model.
+//!
+//! We cannot re-synthesize RTL in this reproduction, so — like the paper,
+//! which converts synthesis results into an event-based model — we seed an
+//! event-energy model with the published component numbers and count events
+//! in the simulator.
+
+use revel_dfg::FuClass;
+
+/// Area of one systolic PE in µm² (§VIII-A: "2822 µm²").
+pub const SPE_AREA_UM2: f64 = 2822.0;
+/// Area of one tagged-dataflow PE in µm² (§VIII-A: "16581 µm²", >5× sPE).
+pub const DPE_AREA_UM2: f64 = 16581.0;
+
+/// Relative PE area of the four spatial-architecture taxonomy quadrants
+/// (Fig. 7): 64-bit PE, shared PEs with 32 instruction slots and 8
+/// register-file entries, excluding FP units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativePeArea {
+    /// Dedicated PE, static schedule ("systolic") — the baseline.
+    pub systolic: f64,
+    /// Shared PE, static schedule ("CGRA").
+    pub cgra: f64,
+    /// Dedicated PE, dynamic schedule ("ordered dataflow").
+    pub ordered_dataflow: f64,
+    /// Shared PE, dynamic schedule ("tagged dataflow").
+    pub tagged_dataflow: f64,
+}
+
+impl RelativePeArea {
+    /// The paper's Fig. 7 estimates.
+    pub fn paper() -> Self {
+        RelativePeArea { systolic: 1.0, cgra: 2.6, ordered_dataflow: 2.1, tagged_dataflow: 5.8 }
+    }
+}
+
+/// Published area (mm²) and power (mW) breakdown of one lane and the full
+/// accelerator (Table VI, 28 nm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Dedicated (circuit-switched) network, 24 switches.
+    pub dedicated_net_mm2: f64,
+    /// Dedicated network power.
+    pub dedicated_net_mw: f64,
+    /// Temporal network (1 dPE's tagged interconnect).
+    pub temporal_net_mm2: f64,
+    /// Temporal network power.
+    pub temporal_net_mw: f64,
+    /// Functional units.
+    pub func_units_mm2: f64,
+    /// Functional unit power.
+    pub func_units_mw: f64,
+    /// Control: ports, XFER, stream control.
+    pub control_mm2: f64,
+    /// Control power.
+    pub control_mw: f64,
+    /// 8 KB private scratchpad.
+    pub spad_mm2: f64,
+    /// Scratchpad power.
+    pub spad_mw: f64,
+    /// One vector lane total.
+    pub lane_mm2: f64,
+    /// One vector lane power.
+    pub lane_mw: f64,
+    /// RISC-V control core.
+    pub core_mm2: f64,
+    /// Control core power.
+    pub core_mw: f64,
+    /// Full REVEL (8 lanes + core + shared SPAD).
+    pub revel_mm2: f64,
+    /// Full REVEL power.
+    pub revel_mw: f64,
+}
+
+impl AreaBreakdown {
+    /// Table VI of the paper.
+    pub fn paper() -> Self {
+        AreaBreakdown {
+            dedicated_net_mm2: 0.06,
+            dedicated_net_mw: 71.40,
+            temporal_net_mm2: 0.02,
+            temporal_net_mw: 14.81,
+            func_units_mm2: 0.07,
+            func_units_mw: 74.04,
+            control_mm2: 0.03,
+            control_mw: 62.92,
+            spad_mm2: 0.06,
+            spad_mw: 4.64,
+            lane_mm2: 0.22,
+            lane_mw: 207.90,
+            core_mm2: 0.04,
+            core_mw: 19.91,
+            revel_mm2: 1.93,
+            revel_mw: 1663.3,
+        }
+    }
+
+    /// Total fabric (networks + FUs) area for one lane.
+    pub fn fabric_mm2(&self) -> f64 {
+        self.dedicated_net_mm2 + self.temporal_net_mm2 + self.func_units_mm2
+    }
+
+    /// Total fabric power for one lane.
+    pub fn fabric_mw(&self) -> f64 {
+        self.dedicated_net_mw + self.temporal_net_mw + self.func_units_mw
+    }
+}
+
+/// Counts of energy-bearing events accumulated by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// FU operations on adders.
+    pub fu_add_ops: u64,
+    /// FU operations on multipliers.
+    pub fu_mul_ops: u64,
+    /// FU operations on divide/sqrt units.
+    pub fu_div_ops: u64,
+    /// Instructions executed on dataflow PEs (includes tag matching cost).
+    pub dpe_instrs: u64,
+    /// Words traversing circuit-switched mesh hops.
+    pub switch_hops: u64,
+    /// Words pushed into or popped from ports.
+    pub port_words: u64,
+    /// Words read/written at private scratchpads.
+    pub spad_words: u64,
+    /// Words read/written at the shared scratchpad.
+    pub shared_spad_words: u64,
+    /// Words crossing the XFER / inter-lane buses.
+    pub bus_words: u64,
+    /// Stream commands constructed and issued by the control core.
+    pub commands: u64,
+}
+
+impl EventCounts {
+    /// Accumulates another event count into this one.
+    pub fn add(&mut self, other: &EventCounts) {
+        self.fu_add_ops += other.fu_add_ops;
+        self.fu_mul_ops += other.fu_mul_ops;
+        self.fu_div_ops += other.fu_div_ops;
+        self.dpe_instrs += other.dpe_instrs;
+        self.switch_hops += other.switch_hops;
+        self.port_words += other.port_words;
+        self.spad_words += other.spad_words;
+        self.shared_spad_words += other.shared_spad_words;
+        self.bus_words += other.bus_words;
+        self.commands += other.commands;
+    }
+
+    /// Records one FU operation of the given class.
+    pub fn count_fu_op(&mut self, class: FuClass, n: u64) {
+        match class {
+            FuClass::Adder => self.fu_add_ops += n,
+            FuClass::Multiplier => self.fu_mul_ops += n,
+            FuClass::DivSqrt => self.fu_div_ops += n,
+        }
+    }
+
+    /// Total floating-point operations (for FLOP-rate reporting).
+    pub fn total_fu_ops(&self) -> u64 {
+        self.fu_add_ops + self.fu_mul_ops + self.fu_div_ops + self.dpe_instrs
+    }
+}
+
+/// Per-event energies (pJ) and static power, calibrated so that a fully
+/// active lane lands at the Table VI lane power (≈208 mW at 1.25 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Adder op energy.
+    pub fu_add_pj: f64,
+    /// Multiplier op energy.
+    pub fu_mul_pj: f64,
+    /// Divide/sqrt op energy (per issued op, amortizing iterations).
+    pub fu_div_pj: f64,
+    /// Dataflow-PE instruction energy (FU + tag match + scheduler).
+    pub dpe_instr_pj: f64,
+    /// Energy per word per mesh hop.
+    pub switch_hop_pj: f64,
+    /// Energy per word through a port FIFO (push or pop).
+    pub port_word_pj: f64,
+    /// Energy per word at a private scratchpad.
+    pub spad_word_pj: f64,
+    /// Energy per word at the shared scratchpad.
+    pub shared_spad_word_pj: f64,
+    /// Energy per word on a data bus.
+    pub bus_word_pj: f64,
+    /// Energy per stream command (control core construct + ship).
+    pub command_pj: f64,
+    /// Static/clock power per lane (mW).
+    pub lane_static_mw: f64,
+    /// Static/clock power of the control core (mW).
+    pub core_static_mw: f64,
+}
+
+impl EnergyModel {
+    /// 28 nm calibration. At full activity (≈24 FU ops + network + port +
+    /// SPAD traffic per cycle at 1.25 GHz) one lane dissipates ≈208 mW,
+    /// matching Table VI.
+    pub fn paper_28nm() -> Self {
+        EnergyModel {
+            fu_add_pj: 1.4,
+            fu_mul_pj: 3.1,
+            fu_div_pj: 7.5,
+            dpe_instr_pj: 6.0,
+            switch_hop_pj: 1.0,
+            port_word_pj: 0.45,
+            spad_word_pj: 1.1,
+            shared_spad_word_pj: 2.6,
+            bus_word_pj: 0.9,
+            command_pj: 9.0,
+            lane_static_mw: 38.0,
+            core_static_mw: 8.0,
+        }
+    }
+
+    /// Dynamic energy of an event batch in pJ.
+    pub fn dynamic_pj(&self, ev: &EventCounts) -> f64 {
+        ev.fu_add_ops as f64 * self.fu_add_pj
+            + ev.fu_mul_ops as f64 * self.fu_mul_pj
+            + ev.fu_div_ops as f64 * self.fu_div_pj
+            + ev.dpe_instrs as f64 * self.dpe_instr_pj
+            + ev.switch_hops as f64 * self.switch_hop_pj
+            + ev.port_words as f64 * self.port_word_pj
+            + ev.spad_words as f64 * self.spad_word_pj
+            + ev.shared_spad_words as f64 * self.shared_spad_word_pj
+            + ev.bus_words as f64 * self.bus_word_pj
+            + ev.commands as f64 * self.command_pj
+    }
+
+    /// Average power in mW over an execution of `cycles` cycles at
+    /// `clock_ghz`, with `active_lanes` lanes powered on.
+    ///
+    /// # Panics
+    /// Panics if `cycles` is zero.
+    pub fn power_mw(
+        &self,
+        ev: &EventCounts,
+        cycles: u64,
+        clock_ghz: f64,
+        active_lanes: usize,
+    ) -> f64 {
+        assert!(cycles > 0, "power over zero cycles is undefined");
+        let time_ns = cycles as f64 / clock_ghz;
+        let dyn_mw = self.dynamic_pj(ev) / time_ns; // pJ/ns = mW
+        dyn_mw + self.lane_static_mw * active_lanes as f64 + self.core_static_mw
+    }
+}
+
+/// Aggregate cost model: area composition helpers used by the Fig. 24/25
+/// and Table VII experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// The component breakdown used for totals.
+    pub breakdown: AreaBreakdown,
+}
+
+impl CostModel {
+    /// Paper-calibrated cost model.
+    pub fn paper() -> Self {
+        CostModel { breakdown: AreaBreakdown::paper() }
+    }
+
+    /// Area of a REVEL instance with a custom number of dataflow PEs per
+    /// lane (Fig. 24 sensitivity): swapping a systolic PE for a dataflow PE
+    /// costs the area difference of the two tile types.
+    pub fn revel_mm2_with_dpes(&self, num_lanes: usize, dpes_per_lane: usize) -> f64 {
+        let base_lane = self.breakdown.lane_mm2;
+        let delta_per_dpe = (DPE_AREA_UM2 - SPE_AREA_UM2) / 1.0e6;
+        let lane = base_lane + delta_per_dpe * (dpes_per_lane as f64 - 1.0);
+        let shared = self.breakdown.revel_mm2
+            - self.breakdown.lane_mm2 * 8.0
+            - self.breakdown.core_mm2;
+        lane * num_lanes as f64 + self.breakdown.core_mm2 + shared
+    }
+
+    /// Total REVEL area with the default configuration.
+    pub fn revel_mm2(&self) -> f64 {
+        self.breakdown.revel_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_consistency() {
+        let b = AreaBreakdown::paper();
+        // Published components sum to 0.15 vs the rounded 0.13 total.
+        assert!((b.fabric_mm2() - 0.13).abs() < 0.025);
+        assert!((b.fabric_mw() - 160.25).abs() < 0.01);
+        // 8 lanes + core + shared spad ≈ full chip.
+        assert!(b.lane_mm2 * 8.0 + b.core_mm2 <= b.revel_mm2);
+    }
+
+    #[test]
+    fn dpe_is_much_larger_than_spe() {
+        assert!(DPE_AREA_UM2 / SPE_AREA_UM2 > 5.0);
+    }
+
+    #[test]
+    fn taxonomy_ordering() {
+        let t = RelativePeArea::paper();
+        assert!(t.systolic < t.ordered_dataflow);
+        assert!(t.ordered_dataflow < t.cgra);
+        assert!(t.cgra < t.tagged_dataflow);
+    }
+
+    #[test]
+    fn full_activity_power_near_table_vi() {
+        // One lane fully busy for 1000 cycles: ~20 FU ops, ~20 hops, 16
+        // port words, 16 spad words per cycle.
+        let ev = EventCounts {
+            fu_add_ops: 11_000,
+            fu_mul_ops: 8_000,
+            fu_div_ops: 1_000,
+            dpe_instrs: 1_000,
+            switch_hops: 22_000,
+            port_words: 16_000,
+            spad_words: 16_000,
+            shared_spad_words: 0,
+            bus_words: 4_000,
+            commands: 30,
+            ..Default::default()
+        };
+        let p = EnergyModel::paper_28nm().power_mw(&ev, 1000, 1.25, 1);
+        assert!(
+            p > 140.0 && p < 280.0,
+            "fully-active lane power {p:.1} mW should be near Table VI's 208 mW"
+        );
+    }
+
+    #[test]
+    fn event_accumulation() {
+        let mut a = EventCounts { fu_add_ops: 1, commands: 2, ..Default::default() };
+        let b = EventCounts { fu_add_ops: 3, spad_words: 4, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.fu_add_ops, 4);
+        assert_eq!(a.spad_words, 4);
+        assert_eq!(a.commands, 2);
+        let mut c = EventCounts::default();
+        c.count_fu_op(FuClass::Multiplier, 5);
+        assert_eq!(c.fu_mul_ops, 5);
+        assert_eq!(c.total_fu_ops(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn power_zero_cycles_panics() {
+        let _ = EnergyModel::paper_28nm().power_mw(&EventCounts::default(), 0, 1.25, 1);
+    }
+
+    #[test]
+    fn dpe_sensitivity_area_monotone() {
+        let m = CostModel::paper();
+        let a1 = m.revel_mm2_with_dpes(8, 1);
+        let a4 = m.revel_mm2_with_dpes(8, 4);
+        assert!(a4 > a1);
+        assert!((a1 - m.revel_mm2()).abs() < 1e-9);
+    }
+}

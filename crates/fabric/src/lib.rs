@@ -1,0 +1,32 @@
+//! # revel-fabric — hardware description of the REVEL accelerator
+//!
+//! Structural and physical parameters of the REVEL design from *"A Hybrid
+//! Systolic-Dataflow Architecture for Inductive Matrix Algorithms"* (HPCA
+//! 2020): lane composition (Table III), the hybrid systolic-dataflow mesh
+//! topology the spatial scheduler maps onto, and the post-synthesis area and
+//! energy constants (Table VI) used by the event-based power model.
+//!
+//! The default configuration ([`RevelConfig::paper_default`]) matches the
+//! paper: 8 lanes at 1.25 GHz, each with a 5×5 circuit-switched mesh hosting
+//! 24 systolic PEs + 1 dataflow PE, six input / six output vector ports
+//! (2×512 b, 2×256 b, 1×128 b, 1×64 b), an 8 KB private scratchpad with one
+//! 512-bit read and write port, 8-entry stream table and command queue, and
+//! a shared 128 KB scratchpad.
+//!
+//! ```
+//! use revel_fabric::RevelConfig;
+//! let cfg = RevelConfig::paper_default();
+//! assert_eq!(cfg.num_lanes, 8);
+//! assert_eq!(cfg.lane.in_port_widths[..4], [8, 8, 4, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+mod mesh;
+
+pub use config::{FuMix, LaneConfig, RevelConfig};
+pub use cost::{AreaBreakdown, CostModel, EnergyModel, EventCounts, RelativePeArea, DPE_AREA_UM2, SPE_AREA_UM2};
+pub use mesh::{Mesh, MeshCoord, MeshLink, PeKind, PeSlot};

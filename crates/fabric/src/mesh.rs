@@ -1,0 +1,246 @@
+use crate::{FuMix, LaneConfig};
+use revel_dfg::FuClass;
+
+/// What occupies a mesh tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeKind {
+    /// A dedicated systolic PE hosting a single FU of the given class.
+    Systolic(FuClass),
+    /// A temporally-shared dataflow PE (triggered instructions); can
+    /// execute any op class from its instruction buffer.
+    Dataflow,
+}
+
+/// Grid coordinate of a mesh tile: `(x, y)` with `x` growing rightwards and
+/// `y` growing downwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeshCoord {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl core::fmt::Display for MeshCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// One tile of the lane's spatial mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeSlot {
+    /// Position in the grid.
+    pub coord: MeshCoord,
+    /// Tile contents.
+    pub kind: PeKind,
+}
+
+/// A directed link of the circuit-switched mesh between 4-neighbour tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeshLink {
+    /// Source tile.
+    pub from: MeshCoord,
+    /// Destination tile.
+    pub to: MeshCoord,
+}
+
+/// The spatial mesh of one lane: a `width × height` grid of PE tiles joined
+/// by a 64-bit circuit-switched mesh (Table III).
+///
+/// Dataflow PEs are placed in the bottom-right corner, matching the paper's
+/// note that they are "grouped on the right side of the spatial fabric to
+/// enable simpler physical design". Systolic FU classes are interleaved so
+/// multipliers and adders are never far apart (inner loops alternate them),
+/// with the rare div/sqrt units near the dataflow corner where outer-loop
+/// regions live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    slots: Vec<PeSlot>,
+}
+
+impl Mesh {
+    /// Builds the mesh for a lane configuration.
+    ///
+    /// # Panics
+    /// Panics if the FU mix plus dataflow PEs don't exactly fill the grid.
+    pub fn for_lane(cfg: &LaneConfig) -> Self {
+        Self::build(cfg.mesh_width, cfg.mesh_height, cfg.fu_mix, cfg.num_dataflow_pes)
+    }
+
+    /// Builds a mesh with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `fu_mix.total() + num_dpes != width * height`.
+    pub fn build(width: usize, height: usize, fu_mix: FuMix, num_dpes: usize) -> Self {
+        assert_eq!(
+            fu_mix.total() + num_dpes,
+            width * height,
+            "FU mix ({}) + dataflow PEs ({num_dpes}) must fill the {width}x{height} grid",
+            fu_mix.total()
+        );
+        // Assign dataflow PEs to the last tiles (bottom-right, row-major),
+        // div/sqrt just before them, then interleave adders/multipliers.
+        let total = width * height;
+        let mut kinds = Vec::with_capacity(total);
+        let mut add_left = fu_mix.adders;
+        let mut mul_left = fu_mix.multipliers;
+        let systolic_tiles = total - num_dpes;
+        let div_start = systolic_tiles - fu_mix.div_sqrt;
+        for idx in 0..total {
+            let kind = if idx >= systolic_tiles {
+                PeKind::Dataflow
+            } else if idx >= div_start {
+                PeKind::Systolic(FuClass::DivSqrt)
+            } else if (idx % 2 == 0 && add_left > 0) || mul_left == 0 {
+                add_left -= 1;
+                PeKind::Systolic(FuClass::Adder)
+            } else {
+                mul_left -= 1;
+                PeKind::Systolic(FuClass::Multiplier)
+            };
+            kinds.push(kind);
+        }
+        let slots = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(idx, kind)| PeSlot {
+                coord: MeshCoord { x: (idx % width) as u8, y: (idx / width) as u8 },
+                kind,
+            })
+            .collect();
+        Mesh { width, height, slots }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All tiles in row-major order.
+    pub fn slots(&self) -> &[PeSlot] {
+        &self.slots
+    }
+
+    /// The tile at a coordinate.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is outside the grid.
+    pub fn slot(&self, c: MeshCoord) -> &PeSlot {
+        assert!((c.x as usize) < self.width && (c.y as usize) < self.height);
+        &self.slots[c.y as usize * self.width + c.x as usize]
+    }
+
+    /// Tiles hosting an FU compatible with `class` in systolic mode.
+    pub fn systolic_slots(&self, class: FuClass) -> impl Iterator<Item = &PeSlot> {
+        self.slots.iter().filter(move |s| s.kind == PeKind::Systolic(class))
+    }
+
+    /// Tiles hosting dataflow PEs.
+    pub fn dataflow_slots(&self) -> impl Iterator<Item = &PeSlot> {
+        self.slots.iter().filter(|s| s.kind == PeKind::Dataflow)
+    }
+
+    /// 4-neighbourhood of a coordinate.
+    pub fn neighbors(&self, c: MeshCoord) -> Vec<MeshCoord> {
+        let mut out = Vec::with_capacity(4);
+        if c.x > 0 {
+            out.push(MeshCoord { x: c.x - 1, y: c.y });
+        }
+        if (c.x as usize) + 1 < self.width {
+            out.push(MeshCoord { x: c.x + 1, y: c.y });
+        }
+        if c.y > 0 {
+            out.push(MeshCoord { x: c.x, y: c.y - 1 });
+        }
+        if (c.y as usize) + 1 < self.height {
+            out.push(MeshCoord { x: c.x, y: c.y + 1 });
+        }
+        out
+    }
+
+    /// All directed links of the mesh.
+    pub fn links(&self) -> Vec<MeshLink> {
+        let mut links = Vec::new();
+        for s in &self.slots {
+            for n in self.neighbors(s.coord) {
+                links.push(MeshLink { from: s.coord, to: n });
+            }
+        }
+        links
+    }
+
+    /// Manhattan distance between two tiles (lower bound on hop count).
+    pub fn manhattan(&self, a: MeshCoord, b: MeshCoord) -> u32 {
+        (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_mesh() -> Mesh {
+        Mesh::for_lane(&LaneConfig::paper_default())
+    }
+
+    #[test]
+    fn mesh_fills_grid() {
+        let m = paper_mesh();
+        assert_eq!(m.slots().len(), 25);
+        assert_eq!(m.systolic_slots(FuClass::Adder).count(), 12);
+        assert_eq!(m.systolic_slots(FuClass::Multiplier).count(), 9);
+        assert_eq!(m.systolic_slots(FuClass::DivSqrt).count(), 3);
+        assert_eq!(m.dataflow_slots().count(), 1);
+    }
+
+    #[test]
+    fn dataflow_pe_in_bottom_right() {
+        let m = paper_mesh();
+        let d: Vec<_> = m.dataflow_slots().collect();
+        assert_eq!(d[0].coord, MeshCoord { x: 4, y: 4 });
+    }
+
+    #[test]
+    fn neighbors_at_corner_and_center() {
+        let m = paper_mesh();
+        assert_eq!(m.neighbors(MeshCoord { x: 0, y: 0 }).len(), 2);
+        assert_eq!(m.neighbors(MeshCoord { x: 2, y: 2 }).len(), 4);
+        assert_eq!(m.neighbors(MeshCoord { x: 2, y: 0 }).len(), 3);
+    }
+
+    #[test]
+    fn link_count() {
+        // 2 * (w-1) * h horizontal + 2 * w * (h-1) vertical directed links.
+        let m = paper_mesh();
+        assert_eq!(m.links().len(), 2 * 4 * 5 + 2 * 5 * 4);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = paper_mesh();
+        assert_eq!(m.manhattan(MeshCoord { x: 0, y: 0 }, MeshCoord { x: 4, y: 4 }), 8);
+        assert_eq!(m.manhattan(MeshCoord { x: 2, y: 3 }, MeshCoord { x: 2, y: 3 }), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fill")]
+    fn wrong_mix_panics() {
+        let _ = Mesh::build(2, 2, FuMix { adders: 1, multipliers: 1, div_sqrt: 1 }, 2);
+    }
+
+    #[test]
+    fn slot_lookup_roundtrip() {
+        let m = paper_mesh();
+        for s in m.slots() {
+            assert_eq!(m.slot(s.coord), s);
+        }
+    }
+}

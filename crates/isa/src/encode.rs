@@ -1,0 +1,380 @@
+//! Binary encoding of vector-stream programs.
+//!
+//! REVEL ships commands from the control core to lane command queues over a
+//! narrow command bus; this module defines a concrete 64-bit-word wire
+//! format so programs can be stored in scratchpad, round-tripped, and
+//! measured (command footprint is one of the control-amortization claims).
+//!
+//! Layout: each command starts with a header word
+//! `[tag:8 | lanes:32 | aux:24]` followed by a fixed number of payload
+//! words determined by the tag.
+
+use crate::{
+    AffinePattern, ConfigId, ConstPattern, InPortId, LaneHop, LaneMask, LaneScale, MemTarget,
+    OutPortId, ProdMode, RateFsm, StreamCommand, VectorCommand, XferRoute,
+};
+use core::fmt;
+
+const TAG_CONFIGURE: u8 = 1;
+const TAG_LOAD: u8 = 2;
+const TAG_STORE: u8 = 3;
+const TAG_CONST1: u8 = 4;
+const TAG_CONST2: u8 = 5;
+const TAG_XFER: u8 = 6;
+const TAG_BARRIER: u8 = 7;
+const TAG_WAIT: u8 = 8;
+const TAG_SET_ACCUM: u8 = 9;
+
+/// Error produced when decoding a malformed binary program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word stream ended inside a command.
+    Truncated {
+        /// Word offset at which more payload was expected.
+        at: usize,
+    },
+    /// An unknown command tag was encountered.
+    UnknownTag {
+        /// The bad tag value.
+        tag: u8,
+        /// Word offset of the header.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "program truncated at word {at}"),
+            DecodeError::UnknownTag { tag, at } => {
+                write!(f, "unknown command tag {tag} at word {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn header(tag: u8, lanes: LaneMask, aux: u32) -> u64 {
+    (tag as u64) << 56 | (lanes.bits() as u64) << 24 | (aux as u64 & 0xff_ffff)
+}
+
+fn push_pattern(out: &mut Vec<u64>, p: &AffinePattern) {
+    out.extend([
+        p.start as u64,
+        p.stride_i as u64,
+        p.stride_j as u64,
+        p.len_i as u64,
+        p.len_j as u64,
+        p.stretch as u64,
+    ]);
+}
+
+fn push_rate(out: &mut Vec<u64>, r: &RateFsm) {
+    out.extend([r.base as u64, r.stretch as u64]);
+}
+
+fn push_scale(out: &mut Vec<u64>, s: &LaneScale) {
+    out.extend([s.addr_per_lane as u64, s.len_i_per_lane as u64, s.len_j_per_lane as u64]);
+}
+
+/// Encodes a vector-stream program into 64-bit words.
+pub fn encode_program(program: &[VectorCommand]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for vc in program {
+        let lanes = vc.lanes;
+        match &vc.cmd {
+            StreamCommand::Configure { config } => {
+                out.push(header(TAG_CONFIGURE, lanes, config.0));
+            }
+            StreamCommand::Load { target, pattern, dst, reuse } => {
+                let aux = (dst.0 as u32) | (mem_bit(*target) << 8);
+                out.push(header(TAG_LOAD, lanes, aux));
+                push_pattern(&mut out, pattern);
+                push_rate(&mut out, reuse);
+                push_scale(&mut out, &vc.scale);
+            }
+            StreamCommand::Store { src, target, pattern, discard } => {
+                let aux = (src.0 as u32) | (mem_bit(*target) << 8);
+                out.push(header(TAG_STORE, lanes, aux));
+                push_pattern(&mut out, pattern);
+                push_rate(&mut out, discard);
+                push_scale(&mut out, &vc.scale);
+            }
+            StreamCommand::Const { dst, pattern } => {
+                let tag = if pattern.val2.is_some() { TAG_CONST2 } else { TAG_CONST1 };
+                out.push(header(tag, lanes, dst.0 as u32));
+                out.push(pattern.val1);
+                push_rate(&mut out, &pattern.n1);
+                if let Some((v2, n2)) = pattern.val2 {
+                    out.push(v2);
+                    push_rate(&mut out, &n2);
+                }
+                out.push(pattern.outer as u64);
+            }
+            StreamCommand::Xfer { route, outer, production, prod_mode, consumption, rows } => {
+                let hop = match route.hop {
+                    LaneHop::Local => 0u32,
+                    LaneHop::Right => 1,
+                };
+                let drop_first = match prod_mode {
+                    ProdMode::KeepFirst => 0u32,
+                    ProdMode::DropFirst => 1,
+                };
+                let has_rows = rows.is_some() as u32;
+                let aux = (route.src.0 as u32)
+                    | (route.dst.0 as u32) << 8
+                    | hop << 16
+                    | drop_first << 17
+                    | has_rows << 18;
+                out.push(header(TAG_XFER, lanes, aux));
+                out.push(*outer as u64);
+                push_rate(&mut out, production);
+                push_rate(&mut out, consumption);
+                if let Some(r) = rows {
+                    push_rate(&mut out, r);
+                }
+            }
+            StreamCommand::SetAccumLen { region, len } => {
+                out.push(header(TAG_SET_ACCUM, lanes, *region));
+                push_rate(&mut out, len);
+            }
+            StreamCommand::BarrierScratch => out.push(header(TAG_BARRIER, lanes, 0)),
+            StreamCommand::Wait => out.push(header(TAG_WAIT, lanes, 0)),
+        }
+    }
+    out
+}
+
+fn mem_bit(t: MemTarget) -> u32 {
+    match t {
+        MemTarget::Private => 0,
+        MemTarget::Shared => 1,
+    }
+}
+
+fn mem_from_bit(b: u32) -> MemTarget {
+    if b == 0 {
+        MemTarget::Private
+    } else {
+        MemTarget::Shared
+    }
+}
+
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn next(&mut self) -> Result<u64, DecodeError> {
+        let w = *self.words.get(self.pos).ok_or(DecodeError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn pattern(&mut self) -> Result<AffinePattern, DecodeError> {
+        Ok(AffinePattern {
+            start: self.next()? as i64,
+            stride_i: self.next()? as i64,
+            stride_j: self.next()? as i64,
+            len_i: self.next()? as i64,
+            len_j: self.next()? as i64,
+            stretch: self.next()? as i64,
+        })
+    }
+
+    fn rate(&mut self) -> Result<RateFsm, DecodeError> {
+        Ok(RateFsm { base: self.next()? as i64, stretch: self.next()? as i64 })
+    }
+
+    fn scale(&mut self) -> Result<LaneScale, DecodeError> {
+        Ok(LaneScale {
+            addr_per_lane: self.next()? as i64,
+            len_i_per_lane: self.next()? as i64,
+            len_j_per_lane: self.next()? as i64,
+        })
+    }
+}
+
+/// Decodes a binary program back into [`VectorCommand`]s.
+///
+/// # Errors
+/// [`DecodeError`] when the word stream is truncated or a tag is unknown.
+pub fn decode_program(words: &[u64]) -> Result<Vec<VectorCommand>, DecodeError> {
+    let mut r = Reader { words, pos: 0 };
+    let mut program = Vec::new();
+    while r.pos < words.len() {
+        let at = r.pos;
+        let h = r.next()?;
+        let tag = (h >> 56) as u8;
+        let lanes = LaneMask::from_bits((h >> 24) as u32);
+        let aux = (h & 0xff_ffff) as u32;
+        let mut scale = LaneScale::BROADCAST;
+        let cmd = match tag {
+            TAG_CONFIGURE => StreamCommand::Configure { config: ConfigId(aux) },
+            TAG_LOAD => {
+                let pattern = r.pattern()?;
+                let reuse = r.rate()?;
+                scale = r.scale()?;
+                StreamCommand::Load {
+                    target: mem_from_bit(aux >> 8 & 1),
+                    pattern,
+                    dst: InPortId((aux & 0xff) as u8),
+                    reuse,
+                }
+            }
+            TAG_STORE => {
+                let pattern = r.pattern()?;
+                let discard = r.rate()?;
+                scale = r.scale()?;
+                StreamCommand::Store {
+                    src: OutPortId((aux & 0xff) as u8),
+                    target: mem_from_bit(aux >> 8 & 1),
+                    pattern,
+                    discard,
+                }
+            }
+            TAG_CONST1 | TAG_CONST2 => {
+                let val1 = r.next()?;
+                let n1 = r.rate()?;
+                let val2 = if tag == TAG_CONST2 {
+                    let v2 = r.next()?;
+                    let n2 = r.rate()?;
+                    Some((v2, n2))
+                } else {
+                    None
+                };
+                let outer = r.next()? as i64;
+                StreamCommand::Const {
+                    dst: InPortId((aux & 0xff) as u8),
+                    pattern: ConstPattern { val1, n1, val2, outer },
+                }
+            }
+            TAG_XFER => {
+                let outer = r.next()? as i64;
+                let production = r.rate()?;
+                let consumption = r.rate()?;
+                let rows = if aux >> 18 & 1 == 1 { Some(r.rate()?) } else { None };
+                StreamCommand::Xfer {
+                    route: XferRoute {
+                        src: OutPortId((aux & 0xff) as u8),
+                        dst: InPortId((aux >> 8 & 0xff) as u8),
+                        hop: if aux >> 16 & 1 == 1 { LaneHop::Right } else { LaneHop::Local },
+                    },
+                    outer,
+                    production,
+                    prod_mode: if aux >> 17 & 1 == 1 {
+                        ProdMode::DropFirst
+                    } else {
+                        ProdMode::KeepFirst
+                    },
+                    consumption,
+                    rows,
+                }
+            }
+            TAG_SET_ACCUM => {
+                let len = r.rate()?;
+                StreamCommand::SetAccumLen { region: aux, len }
+            }
+            TAG_BARRIER => StreamCommand::BarrierScratch,
+            TAG_WAIT => StreamCommand::Wait,
+            tag => return Err(DecodeError::UnknownTag { tag, at }),
+        };
+        program.push(VectorCommand { cmd, lanes, scale });
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LaneId;
+
+    fn sample_program() -> Vec<VectorCommand> {
+        vec![
+            VectorCommand::broadcast(
+                LaneMask::all(8),
+                StreamCommand::Configure { config: ConfigId(3) },
+            ),
+            VectorCommand::scaled(
+                LaneMask::all(8),
+                LaneScale::addr(64),
+                StreamCommand::load(
+                    MemTarget::Shared,
+                    AffinePattern::two_d(128, 1, 32, 32, 32, -1),
+                    InPortId(2),
+                    RateFsm::inductive(32, -1),
+                ),
+            ),
+            VectorCommand::on_lane(
+                LaneId(0),
+                StreamCommand::konst(
+                    InPortId(4),
+                    ConstPattern::two_phase(1, RateFsm::fixed(2), 0, RateFsm::ONCE, 5),
+                ),
+            ),
+            VectorCommand::on_lane(
+                LaneId(3),
+                StreamCommand::xfer_right(
+                    OutPortId(6),
+                    InPortId(1),
+                    31,
+                    RateFsm::inductive(16, -1),
+                    RateFsm::fixed(2),
+                ),
+            ),
+            VectorCommand::broadcast(
+                LaneMask::all(8),
+                StreamCommand::store(
+                    OutPortId(7),
+                    MemTarget::Private,
+                    AffinePattern::linear(0, 100),
+                    RateFsm::ONCE,
+                ),
+            ),
+            VectorCommand::broadcast(LaneMask::all(8), StreamCommand::BarrierScratch),
+            VectorCommand::broadcast(LaneMask::all(8), StreamCommand::Wait),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let prog = sample_program();
+        let words = encode_program(&prog);
+        let decoded = decode_program(&words).expect("decode");
+        assert_eq!(decoded, prog);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let words = encode_program(&sample_program());
+        assert!(matches!(
+            decode_program(&words[..words.len() - 3]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let words = vec![0xff_u64 << 56];
+        assert!(matches!(decode_program(&words), Err(DecodeError::UnknownTag { tag: 0xff, .. })));
+    }
+
+    #[test]
+    fn command_footprint_is_compact() {
+        // A whole inductive triangular load is a handful of words — this is
+        // the control-amortization property the ISA exists for.
+        let prog = vec![VectorCommand::broadcast(
+            LaneMask::all(8),
+            StreamCommand::load(
+                MemTarget::Private,
+                AffinePattern::two_d(0, 1, 32, 32, 32, -1),
+                InPortId(0),
+                RateFsm::ONCE,
+            ),
+        )];
+        let words = encode_program(&prog);
+        assert!(words.len() <= 12, "load command took {} words", words.len());
+    }
+}

@@ -1,0 +1,57 @@
+use core::fmt;
+
+/// Validation error for vector-stream ISA values.
+///
+/// Returned by [`crate::StreamCommand::validate`] and the pattern/rate
+/// constructors when a field is outside what the hardware can encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// An inner or outer length was negative at construction time.
+    NegativeLength {
+        /// Which field was negative (`"len_i"` or `"len_j"`).
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A rate FSM would start at a non-positive count (`base <= 0`).
+    NonPositiveRate {
+        /// `base` of the offending [`crate::RateFsm`].
+        base: i64,
+    },
+    /// A port identifier exceeds what the lane hardware provides.
+    PortOutOfRange {
+        /// The port number used.
+        port: u8,
+        /// Number of ports available.
+        limit: u8,
+    },
+    /// A lane mask selected no lanes at all.
+    EmptyLaneMask,
+    /// A stream would touch a negative scratchpad address.
+    NegativeAddress {
+        /// The first negative word address the pattern reaches.
+        addr: i64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::NegativeLength { field, value } => {
+                write!(f, "pattern {field} is negative ({value})")
+            }
+            IsaError::NonPositiveRate { base } => {
+                write!(f, "rate fsm base must be positive, got {base}")
+            }
+            IsaError::PortOutOfRange { port, limit } => {
+                write!(f, "port {port} out of range (lane has {limit} ports)")
+            }
+            IsaError::EmptyLaneMask => write!(f, "lane mask selects no lanes"),
+            IsaError::NegativeAddress { addr } => {
+                write!(f, "stream reaches negative word address {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,134 @@
+use crate::IsaError;
+
+/// An inductive production/consumption rate: `count(j) = base + stretch * j`.
+///
+/// In REVEL hardware this is a tiny FSM inside a programmable port. For a
+/// *consumption* rate it says how many times the `j`-th value arriving at an
+/// input port is reused before being popped; for a *production* rate it says
+/// how many fabric outputs are grouped per forwarded value at an output port
+/// (the first of each group is kept, the rest discarded).
+///
+/// `stretch` is what makes the rate **inductive**: e.g. in Cholesky the
+/// pivot row value `a[k,j]` is reused `n-j` times, which is
+/// `RateFsm::inductive(n, -1)`.
+///
+/// Counts are clamped at 1: the hardware never reuses a value "zero times"
+/// mid-stream (a stream with zero-length groups is expressed by the pattern,
+/// not by the rate).
+///
+/// ```
+/// use revel_isa::RateFsm;
+/// let r = RateFsm::inductive(8, -1);
+/// assert_eq!(r.count_at(0), 8);
+/// assert_eq!(r.count_at(7), 1);
+/// assert_eq!(r.count_at(9), 1); // clamped
+/// assert_eq!(RateFsm::ONCE.count_at(42), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RateFsm {
+    /// Count at `j = 0`.
+    pub base: i64,
+    /// Linear change of the count per outer iteration.
+    pub stretch: i64,
+}
+
+impl RateFsm {
+    /// The trivial rate: every value used exactly once, forever.
+    pub const ONCE: RateFsm = RateFsm { base: 1, stretch: 0 };
+
+    /// A fixed (non-inductive) rate of `n` per value.
+    ///
+    /// # Panics
+    /// Panics if `n <= 0`; a rate must be at least one.
+    pub fn fixed(n: i64) -> Self {
+        assert!(n > 0, "rate must be positive, got {n}");
+        RateFsm { base: n, stretch: 0 }
+    }
+
+    /// An inductive rate `base + stretch * j`, clamped below at 1.
+    pub fn inductive(base: i64, stretch: i64) -> Self {
+        RateFsm { base, stretch }
+    }
+
+    /// The count for outer iteration `j` (clamped below at 1).
+    #[inline]
+    pub fn count_at(&self, j: i64) -> i64 {
+        (self.base + self.stretch * j).max(1)
+    }
+
+    /// True if this is the trivial once-per-value rate.
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        *self == RateFsm::ONCE
+    }
+
+    /// True if the rate changes with the induction variable.
+    #[inline]
+    pub fn is_inductive(&self) -> bool {
+        self.stretch != 0
+    }
+
+    /// Total count summed over `outer` iterations:
+    /// `sum_{j=0}^{outer-1} count_at(j)`.
+    pub fn total(&self, outer: i64) -> i64 {
+        (0..outer.max(0)).map(|j| self.count_at(j)).sum()
+    }
+
+    /// Validates the FSM: the base count must be positive so that the first
+    /// value is used at least once.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::NonPositiveRate`] when `base <= 0`.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        if self.base <= 0 {
+            return Err(IsaError::NonPositiveRate { base: self.base });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RateFsm {
+    fn default() -> Self {
+        RateFsm::ONCE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate() {
+        let r = RateFsm::fixed(3);
+        assert_eq!(r.count_at(0), 3);
+        assert_eq!(r.count_at(100), 3);
+        assert!(!r.is_inductive());
+        assert!(!r.is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn fixed_rejects_zero() {
+        let _ = RateFsm::fixed(0);
+    }
+
+    #[test]
+    fn inductive_total() {
+        // counts: 4, 3, 2, 1 -> 10
+        let r = RateFsm::inductive(4, -1);
+        assert_eq!(r.total(4), 10);
+        // clamped tail: 4,3,2,1,1,1 -> 12
+        assert_eq!(r.total(6), 12);
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_base() {
+        assert!(RateFsm::inductive(0, 1).validate().is_err());
+        assert!(RateFsm::inductive(1, -1).validate().is_ok());
+    }
+
+    #[test]
+    fn default_is_once() {
+        assert!(RateFsm::default().is_trivial());
+    }
+}

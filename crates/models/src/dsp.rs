@@ -1,0 +1,159 @@
+//! TI C6678-class DSP performance model (8 cores @ 1.25 GHz, 16 FP
+//! adders/multipliers per core, DSPLIB-quality inner loops).
+//!
+//! Loss mechanisms modelled, per the paper's §II analysis:
+//!
+//! * **inductive under-vectorization**: an inner loop of trip count `L`
+//!   runs `⌊L/8⌋` software-pipelined vector iterations plus `L mod 8`
+//!   scalar epilogue iterations;
+//! * **per-loop overhead**: software-pipeline prologue/epilogue and branch
+//!   cost on every inner-loop instance;
+//! * **scalar recurrences**: divide/square-root chains serialize at full
+//!   latency (no OOO to hide them);
+//! * **no fine-grain multi-threading**: the inductive kernels run on one
+//!   core (Fig. 6: dependences every ~10³ instructions make cross-core
+//!   synchronization unprofitable); only the regular kernels (GEMM, FIR)
+//!   use all 8 cores.
+
+/// FLOPs per cycle per core at peak.
+pub const CORE_FLOPS_PER_CYCLE: f64 = 16.0;
+/// Vector width in elements.
+pub const VEC: u64 = 8;
+/// Per-inner-loop-instance overhead: the C66x's deep software pipeline
+/// costs tens of cycles of fill/drain on every short loop instance.
+pub const LOOP_OVERHEAD: u64 = 20;
+/// Scalar divide / square-root cost (Newton-iteration sequences).
+pub const DIV_LAT: u64 = 28;
+/// DSPLIB kernels are single-core; the library does not thread.
+pub const CORES: u64 = 1;
+
+/// Cycles for one inner-loop instance of `l` iterations at `f` FLOPs per
+/// iteration: vectorized body plus scalar remainder plus loop overhead.
+pub fn loop_cycles(l: u64, f: u64) -> u64 {
+    if l == 0 {
+        return 0;
+    }
+    let vec_iters = l / VEC;
+    let vec_cost = vec_iters * ((VEC * f).div_ceil(CORE_FLOPS_PER_CYCLE as u64)).max(1);
+    let scalar = (l % VEC) * (f.div_ceil(4)).max(1);
+    vec_cost + scalar + LOOP_OVERHEAD
+}
+
+/// Triangular solver (1 core): per iteration a serial divide plus the
+/// shrinking update loop.
+pub fn solver_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    (0..n).map(|j| DIV_LAT + loop_cycles(n - j - 1, 2)).sum()
+}
+
+/// Cholesky (1 core): divide + sqrt, the scale loop, and the triangular
+/// trailing update (one inner loop per row).
+pub fn cholesky_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    (0..n)
+        .map(|k| {
+            let mut c = 2 * DIV_LAT + loop_cycles(n - k, 1);
+            for j in k + 1..n {
+                c += loop_cycles(n - j, 3);
+            }
+            c
+        })
+        .sum()
+}
+
+/// Householder QR (1 core).
+pub fn qr_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    (0..n - 1)
+        .map(|k| {
+            let m = n - k;
+            // norm + alpha/beta scalar chain
+            let mut c = loop_cycles(m, 2) + 4 * DIV_LAT;
+            // per column: dot + update
+            for _ in k..n {
+                c += loop_cycles(m, 2) + loop_cycles(m, 2);
+            }
+            c
+        })
+        .sum()
+}
+
+/// One-sided Jacobi SVD (1 core), `sweeps` sweeps.
+pub fn svd_cycles(n: usize, sweeps: usize) -> u64 {
+    let n64 = n as u64;
+    let pairs = n64 * (n64 - 1) / 2;
+    let per_pair = loop_cycles(n64, 6) // three fused dot products
+        + 6 * DIV_LAT                   // rotation scalar chain
+        + loop_cycles(n64, 6); // column update
+    sweeps as u64 * pairs * per_pair
+}
+
+/// Radix-2 FFT (1 core): per stage, per block, one inner loop.
+pub fn fft_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    let stages = n.trailing_zeros() as u64;
+    let mut c = 0;
+    let mut size = n;
+    for _ in 0..stages {
+        let blocks = n / size;
+        c += blocks * loop_cycles(size / 2, 10);
+        size /= 2;
+    }
+    c
+}
+
+/// GEMM: DSPLIB's hand-tuned single-core kernel runs near peak.
+pub fn gemm_cycles(m: usize, k: usize, p: usize) -> u64 {
+    let flops = 2 * (m * k * p) as u64;
+    (flops as f64 / (CORE_FLOPS_PER_CYCLE * 0.6)).ceil() as u64
+}
+
+/// Centro-symmetric FIR: regular streaming, good library efficiency.
+pub fn fir_cycles(n_out: usize, m: usize) -> u64 {
+    let flops = 3 * (n_out * m.div_ceil(2)) as u64;
+    (flops as f64 / (CORE_FLOPS_PER_CYCLE * 0.5)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asic;
+
+    #[test]
+    fn loop_model_basics() {
+        // 16 iters, 2 flops each: 2 vector iters + overhead.
+        assert_eq!(loop_cycles(16, 2), 2 + LOOP_OVERHEAD);
+        // 9 iters: 1 vector + 1 scalar.
+        assert_eq!(loop_cycles(9, 2), 1 + 1 + LOOP_OVERHEAD);
+        assert_eq!(loop_cycles(0, 2), 0);
+    }
+
+    #[test]
+    fn dsp_is_order_of_magnitude_off_ideal_on_inductive_kernels() {
+        // Fig. 1: DSP runs the factorizations at ~3-15% of the ideal ASIC.
+        for n in [16, 24, 32] {
+            let ratio = cholesky_cycles(n) as f64 / asic::cholesky_cycles(n) as f64;
+            assert!(
+                (4.0..60.0).contains(&ratio),
+                "cholesky n={n}: DSP/ASIC = {ratio:.1}"
+            );
+            let ratio = solver_cycles(n) as f64 / asic::solver_cycles(n) as f64;
+            assert!((1.5..40.0).contains(&ratio), "solver n={n}: {ratio:.1}");
+        }
+    }
+
+    #[test]
+    fn dsp_is_competitive_on_regular_kernels() {
+        // Fig. 1: GEMM/FIR run at a few tens of percent of ideal.
+        let ratio = gemm_cycles(48, 16, 64) as f64 / asic::gemm_cycles(48, 16, 64) as f64;
+        assert!((5.0..30.0).contains(&ratio), "gemm DSP/ASIC = {ratio:.2}");
+        let ratio = fir_cycles(1024, 37) as f64 / asic::fir_cycles(1024, 37) as f64;
+        assert!((1.0..16.0).contains(&ratio), "fir DSP/ASIC = {ratio:.2}");
+    }
+
+    #[test]
+    fn svd_dominated_by_rotation_chains() {
+        let with_chain = svd_cycles(16, 4);
+        assert!(with_chain > 4 * 120 * 6 * DIV_LAT);
+    }
+}

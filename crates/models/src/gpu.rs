@@ -1,0 +1,75 @@
+//! TITAN V + CUDA library model (1.2 GHz, GV100).
+//!
+//! The GPU's peak FLOPs is more than 10× REVEL's, but at matrix dimensions
+//! of 12–32 the determining factors are kernel-launch latency and
+//! occupancy: a cuSOLVER factorization launches a kernel (or several) per
+//! panel, each costing microseconds, and a 32×32 trailing update occupies a
+//! single SM's worth of lanes. This is why Fig. 1 shows the GPU at a
+//! fraction of a percent of ideal on the small factorizations.
+
+/// Kernel launch + driver latency, in GPU cycles (~4 µs at 1.2 GHz).
+pub const LAUNCH_CYCLES: u64 = 4800;
+/// Effective FLOPs/cycle once running a tiny kernel (one SM's FP64 lanes).
+pub const SMALL_KERNEL_FLOPS_PER_CYCLE: f64 = 96.0;
+
+fn compute_cycles(flops: u64) -> u64 {
+    (flops as f64 / SMALL_KERNEL_FLOPS_PER_CYCLE).ceil() as u64
+}
+
+/// A factorization that launches `launches` kernels over `flops` total work.
+pub fn staged_kernel_cycles(launches: u64, flops: u64) -> u64 {
+    launches * LAUNCH_CYCLES + compute_cycles(flops)
+}
+
+/// cuSOLVER Cholesky: ~one panel kernel per step at these sizes.
+pub fn cholesky_cycles(n: usize, flops: u64) -> u64 {
+    staged_kernel_cycles(n as u64, flops)
+}
+
+/// cuSOLVER QR: a couple of kernels per Householder step.
+pub fn qr_cycles(n: usize, flops: u64) -> u64 {
+    staged_kernel_cycles(2 * n as u64, flops)
+}
+
+/// cuSOLVER Jacobi SVD: a kernel per sweep batch.
+pub fn svd_cycles(n: usize, sweeps: usize, flops: u64) -> u64 {
+    staged_kernel_cycles((sweeps * n) as u64, flops)
+}
+
+/// Triangular solve: one kernel per dependency level in cuBLAS trsv.
+pub fn solver_cycles(n: usize, flops: u64) -> u64 {
+    staged_kernel_cycles(n as u64 / 4, flops)
+}
+
+/// cuFFT: a single plan execution.
+pub fn fft_cycles(flops: u64) -> u64 {
+    staged_kernel_cycles(1, flops)
+}
+
+/// cuBLAS GEMM: one kernel.
+pub fn gemm_cycles(flops: u64) -> u64 {
+    staged_kernel_cycles(1, flops)
+}
+
+/// FIR as a batched 1-D convolution: one kernel.
+pub fn fir_cycles(flops: u64) -> u64 {
+    staged_kernel_cycles(1, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_dominates_small_factorizations() {
+        let c = cholesky_cycles(16, 2000);
+        assert!(c > 16 * LAUNCH_CYCLES);
+        assert!(compute_cycles(2000) < LAUNCH_CYCLES);
+    }
+
+    #[test]
+    fn single_kernel_ops_scale_with_flops() {
+        assert!(gemm_cycles(10_000_000) > gemm_cycles(10_000));
+        assert_eq!(fft_cycles(0), LAUNCH_CYCLES);
+    }
+}

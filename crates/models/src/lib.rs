@@ -1,0 +1,29 @@
+//! # revel-models — analytical comparison models
+//!
+//! The paper evaluates REVEL against an ideal ASIC (analytical, Table IV),
+//! a TI C6678 DSP running DSPLIB, a Xeon 4116 running MKL, and a TITAN V
+//! running CUDA libraries. We cannot run those platforms, so — guided by
+//! the paper's own analysis of *why* they underperform (§II: inductive
+//! under-vectorization, fine-grain synchronization, §VII methodology) — this
+//! crate provides calibrated analytical models implementing exactly those
+//! loss mechanisms, anchored to the paper's published end-points (Fig. 1's
+//! percent-of-ideal, Fig. 21's MKL thread scaling, Fig. 25's perf/mm²).
+//!
+//! All cycle counts are in each platform's own clock domain; use the
+//! `*_CLOCK_GHZ` constants to convert to time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod cpu;
+pub mod dsp;
+pub mod gpu;
+pub mod power;
+
+/// REVEL / DSP clock (GHz).
+pub const ACCEL_CLOCK_GHZ: f64 = 1.25;
+/// Xeon 4116 clock (GHz).
+pub const CPU_CLOCK_GHZ: f64 = 2.1;
+/// TITAN V clock (GHz).
+pub const GPU_CLOCK_GHZ: f64 = 1.2;

@@ -1,0 +1,220 @@
+use revel_dfg::{FuClass, Node, NodeId, OpCode, Region, RegionKind};
+use revel_isa::{InPortId, OutPortId};
+
+/// Identity of one mapped instruction: a node of a region's DFG in one
+/// unroll replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstrKey {
+    /// Index of the region in the scheduled configuration.
+    pub region: usize,
+    /// The DFG node.
+    pub node: NodeId,
+    /// Which unroll replica (0 for scalar regions).
+    pub replica: usize,
+}
+
+/// A placeable instruction extracted from a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedInstr {
+    /// Identity.
+    pub key: InstrKey,
+    /// FU class required.
+    pub class: FuClass,
+    /// True if the instruction executes on a dataflow (temporal) PE.
+    pub temporal: bool,
+    /// FU pipeline latency.
+    pub latency: u32,
+    /// FU initiation interval.
+    pub ii: u32,
+}
+
+/// One endpoint of a routed dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// A mapped instruction.
+    Instr(InstrKey),
+    /// An input port (stream injection point).
+    InPort(InPortId),
+    /// An output port (stream ejection point).
+    OutPort(OutPortId),
+}
+
+/// A dependence to be routed through the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producer endpoint.
+    pub from: Endpoint,
+    /// Consumer endpoint.
+    pub to: Endpoint,
+    /// Region the edge belongs to.
+    pub region: usize,
+    /// True if the edge belongs to a temporal region (time-multiplexed
+    /// links are allowed on temporal routes).
+    pub temporal: bool,
+}
+
+impl Edge {
+    /// True when one endpoint is a vector port. Ports reach the mesh over
+    /// dedicated wide data buses (Fig. 13), so port-adjacent hops are not
+    /// exclusively-owned circuit-switched links; only PE-to-PE dependences
+    /// contend for dedicated links.
+    pub fn is_port_edge(&self) -> bool {
+        matches!(self.from, Endpoint::InPort(_)) || matches!(self.to, Endpoint::OutPort(_))
+    }
+
+    /// True if the edge needs a dedicated (exclusive) mesh path.
+    pub fn needs_dedicated_links(&self) -> bool {
+        !self.temporal && !self.is_port_edge()
+    }
+}
+
+/// The flattened view of a configuration: instructions + edges.
+#[derive(Debug, Clone, Default)]
+pub struct Expansion {
+    /// All placeable instructions.
+    pub instrs: Vec<MappedInstr>,
+    /// All dependences to route.
+    pub edges: Vec<Edge>,
+}
+
+/// Expands regions into placeable instructions and routable edges.
+///
+/// Systolic regions replicate their datapath `unroll` times (vectorization);
+/// temporal regions stay scalar. Input/Output/Const nodes do not occupy PEs:
+/// ports are fixed injection/ejection tiles and constants are configured
+/// registers.
+pub fn expand(regions: &[Region]) -> Expansion {
+    let mut exp = Expansion::default();
+    for (r, region) in regions.iter().enumerate() {
+        let temporal = region.kind == RegionKind::Temporal;
+        let replicas = region.unroll;
+        for replica in 0..replicas {
+            for (id, node) in region.dfg.iter() {
+                let key = InstrKey { region: r, node: id, replica };
+                match node {
+                    Node::Op { op, args } => {
+                        exp.instrs.push(MappedInstr {
+                            key,
+                            class: op.fu_class(),
+                            temporal,
+                            latency: op.latency(),
+                            ii: op.initiation_interval(),
+                        });
+                        for a in args {
+                            if let Some(e) = edge_from(region, r, replica, *a, key, temporal) {
+                                exp.edges.push(e);
+                            }
+                        }
+                    }
+                    Node::Accum { arg, .. } | Node::AccumVec { arg, .. } => {
+                        exp.instrs.push(MappedInstr {
+                            key,
+                            class: FuClass::Adder,
+                            temporal,
+                            latency: OpCode::Add.latency(),
+                            ii: 1,
+                        });
+                        if let Some(e) = edge_from(region, r, replica, *arg, key, temporal) {
+                            exp.edges.push(e);
+                        }
+                    }
+                    Node::Output { arg, port } => {
+                        if let Some(from) = producer_endpoint(region, r, replica, *arg) {
+                            exp.edges.push(Edge {
+                                from,
+                                to: Endpoint::OutPort(*port),
+                                region: r,
+                                temporal,
+                            });
+                        }
+                    }
+                    Node::Input { .. } | Node::Const { .. } => {}
+                }
+            }
+        }
+    }
+    exp
+}
+
+fn edge_from(
+    region: &Region,
+    r: usize,
+    replica: usize,
+    arg: NodeId,
+    to: InstrKey,
+    temporal: bool,
+) -> Option<Edge> {
+    producer_endpoint(region, r, replica, arg)
+        .map(|from| Edge { from, to: Endpoint::Instr(to), region: r, temporal })
+}
+
+/// Constants are baked into the consumer PE's configuration register, so
+/// they produce no routed edge (`None`).
+fn producer_endpoint(region: &Region, r: usize, replica: usize, arg: NodeId) -> Option<Endpoint> {
+    match region.dfg.node(arg) {
+        Node::Input { port, .. } => Some(Endpoint::InPort(*port)),
+        Node::Const { .. } => None,
+        _ => Some(Endpoint::Instr(InstrKey { region: r, node: arg, replica })),
+    }
+}
+
+impl Expansion {
+    /// Instructions that need dedicated systolic PEs.
+    pub fn systolic_instrs(&self) -> impl Iterator<Item = &MappedInstr> {
+        self.instrs.iter().filter(|i| !i.temporal)
+    }
+
+    /// Instructions destined for dataflow PEs.
+    pub fn temporal_instrs(&self) -> impl Iterator<Item = &MappedInstr> {
+        self.instrs.iter().filter(|i| i.temporal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revel_dfg::Dfg;
+
+    fn region(unroll: usize, kind: RegionKind) -> Region {
+        let mut g = Dfg::new("r");
+        let a = g.input(InPortId(0));
+        let b = g.input(InPortId(1));
+        let m = g.op(OpCode::Mul, &[a, b]);
+        let s = g.op(OpCode::Add, &[m, m]);
+        g.output(s, OutPortId(0));
+        Region::new("r", kind, g, unroll)
+    }
+
+    #[test]
+    fn systolic_expansion_replicates() {
+        let exp = expand(&[region(4, RegionKind::Systolic)]);
+        assert_eq!(exp.instrs.len(), 8); // 2 instrs x 4 replicas
+        assert_eq!(exp.systolic_instrs().count(), 8);
+        assert_eq!(exp.temporal_instrs().count(), 0);
+        // Edges per replica: a->mul, b->mul, mul->add (x2 fanin), add->out.
+        assert_eq!(exp.edges.len(), 5 * 4);
+    }
+
+    #[test]
+    fn temporal_expansion_replicates_like_systolic() {
+        // Tagged-dataflow fabrics replicate vectorized datapaths across
+        // instruction slots, so unroll multiplies temporal instructions.
+        let exp = expand(&[region(4, RegionKind::Temporal)]);
+        assert_eq!(exp.instrs.len(), 8);
+        assert!(exp.instrs.iter().all(|i| i.temporal));
+    }
+
+    #[test]
+    fn multi_region_indices() {
+        let exp = expand(&[region(1, RegionKind::Systolic), region(1, RegionKind::Temporal)]);
+        assert!(exp.instrs.iter().any(|i| i.key.region == 0));
+        assert!(exp.instrs.iter().any(|i| i.key.region == 1));
+    }
+
+    #[test]
+    fn port_endpoints_present() {
+        let exp = expand(&[region(1, RegionKind::Systolic)]);
+        assert!(exp.edges.iter().any(|e| matches!(e.from, Endpoint::InPort(_))));
+        assert!(exp.edges.iter().any(|e| matches!(e.to, Endpoint::OutPort(_))));
+    }
+}

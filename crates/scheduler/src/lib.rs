@@ -1,0 +1,49 @@
+//! # revel-scheduler — the spatial architecture compiler backend
+//!
+//! Maps the computation graphs of all concurrent program regions onto a
+//! REVEL lane's hybrid systolic-dataflow mesh, mirroring §VI of *"A Hybrid
+//! Systolic-Dataflow Architecture for Inductive Matrix Algorithms"* (HPCA
+//! 2020):
+//!
+//! * instructions → PEs via **simulated-annealing placement** (the paper
+//!   adapts a hybrid scheduling heuristic to simulated annealing);
+//! * dependences → the circuit-switched mesh via **negotiated-congestion
+//!   routing** in the style of Pathfinder;
+//! * **timing extraction**: per-region pipeline latency (FU latencies plus
+//!   routed network hops), initiation interval, and the delay-FIFO depth
+//!   needed to equalize systolic operand paths.
+//!
+//! All concurrent regions of a configuration are mapped simultaneously so
+//! they can coexist on the fabric, which is what enables inter-region
+//! (inductive) parallelism at runtime.
+//!
+//! ```
+//! use revel_dfg::{Dfg, OpCode, Region};
+//! use revel_fabric::{LaneConfig, Mesh};
+//! use revel_isa::{InPortId, OutPortId};
+//! use revel_scheduler::SpatialScheduler;
+//!
+//! let mut g = Dfg::new("axpy");
+//! let a = g.input(InPortId(0));
+//! let x = g.input(InPortId(1));
+//! let ax = g.op(OpCode::Mul, &[a, x]);
+//! g.output(ax, OutPortId(0));
+//! let region = Region::systolic("inner", g, 4);
+//!
+//! let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+//! let schedule = SpatialScheduler::new(mesh).schedule(&[region]).unwrap();
+//! assert!(schedule.regions[0].latency >= 4); // >= the multiply latency
+//! assert_eq!(schedule.regions[0].ii, 1);     // perfectly pipelined
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instr;
+mod place;
+mod route;
+mod schedule;
+
+pub use instr::{InstrKey, MappedInstr};
+pub use route::RouteStats;
+pub use schedule::{FabricSchedule, RegionSchedule, ScheduleError, SpatialScheduler};

@@ -1,0 +1,311 @@
+//! Simulated-annealing placement of instructions onto mesh tiles.
+
+use crate::instr::{Endpoint, Expansion, InstrKey};
+use crate::schedule::ScheduleError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revel_fabric::{Mesh, MeshCoord, PeKind};
+use std::collections::HashMap;
+
+/// The result of placement: every instruction has a tile.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Instruction → tile. Systolic instructions own their tile
+    /// exclusively; temporal instructions share dataflow tiles.
+    pub instr_pos: HashMap<InstrKey, MeshCoord>,
+    /// Number of temporal instructions resident on each dataflow tile.
+    pub dpe_load: HashMap<MeshCoord, usize>,
+}
+
+/// Tile used to inject values from input port `p` (ports sit above the top
+/// row of the mesh; Fig. 13).
+pub fn in_port_coord(mesh: &Mesh, p: u8) -> MeshCoord {
+    MeshCoord { x: (p as usize).min(mesh.width() - 1) as u8, y: 0 }
+}
+
+/// Tile used to eject values into output port `p` (ports sit below the
+/// bottom row of the mesh).
+pub fn out_port_coord(mesh: &Mesh, p: u8) -> MeshCoord {
+    MeshCoord { x: (p as usize).min(mesh.width() - 1) as u8, y: (mesh.height() - 1) as u8 }
+}
+
+/// Resolves both tiles of an edge. Wide vector ports physically span
+/// several mesh columns, so each unroll replica injects/ejects at a
+/// different column: replica `k` of a port-adjacent edge is shifted `k`
+/// columns (wrapping), which is what lets a vectorized region stream a full
+/// vector per cycle without sharing a 64-bit mesh link.
+pub fn edge_coords(
+    mesh: &Mesh,
+    placement: &Placement,
+    edge: &crate::instr::Edge,
+) -> (MeshCoord, MeshCoord) {
+    let replica = match (edge.from, edge.to) {
+        (Endpoint::Instr(k), _) => k.replica,
+        (_, Endpoint::Instr(k)) => k.replica,
+        _ => 0,
+    };
+    let spread = |c: MeshCoord| MeshCoord {
+        x: ((c.x as usize + replica) % mesh.width()) as u8,
+        y: c.y,
+    };
+    let from = match edge.from {
+        Endpoint::Instr(k) => placement.instr_pos[&k],
+        Endpoint::InPort(p) => spread(in_port_coord(mesh, p.0)),
+        Endpoint::OutPort(p) => spread(out_port_coord(mesh, p.0)),
+    };
+    let to = match edge.to {
+        Endpoint::Instr(k) => placement.instr_pos[&k],
+        Endpoint::InPort(p) => spread(in_port_coord(mesh, p.0)),
+        Endpoint::OutPort(p) => spread(out_port_coord(mesh, p.0)),
+    };
+    (from, to)
+}
+
+/// Places all instructions: temporal instructions round-robin over dataflow
+/// tiles (respecting instruction-slot capacity), systolic instructions by
+/// simulated annealing minimizing total routed wirelength.
+pub fn place(
+    mesh: &Mesh,
+    exp: &Expansion,
+    dpe_slots: usize,
+    seed: u64,
+    iterations: usize,
+) -> Result<Placement, ScheduleError> {
+    let mut placement = Placement { instr_pos: HashMap::new(), dpe_load: HashMap::new() };
+
+    // --- temporal instructions -> dataflow tiles (round robin) ---
+    let dpe_tiles: Vec<MeshCoord> = mesh.dataflow_slots().map(|s| s.coord).collect();
+    let temporal: Vec<&crate::instr::MappedInstr> = exp.temporal_instrs().collect();
+    if !temporal.is_empty() {
+        if dpe_tiles.is_empty() {
+            return Err(ScheduleError::NoDataflowPes { needed: temporal.len() });
+        }
+        let capacity = dpe_tiles.len() * dpe_slots;
+        if temporal.len() > capacity {
+            return Err(ScheduleError::TemporalOverflow {
+                needed: temporal.len(),
+                capacity,
+            });
+        }
+        for (i, instr) in temporal.iter().enumerate() {
+            let tile = dpe_tiles[i % dpe_tiles.len()];
+            placement.instr_pos.insert(instr.key, tile);
+            *placement.dpe_load.entry(tile).or_insert(0) += 1;
+        }
+    }
+
+    // --- systolic instructions -> dedicated tiles ---
+    // Group available tiles by FU class.
+    let mut free: HashMap<revel_dfg::FuClass, Vec<MeshCoord>> = HashMap::new();
+    for s in mesh.slots() {
+        if let PeKind::Systolic(class) = s.kind {
+            free.entry(class).or_default().push(s.coord);
+        }
+    }
+    let systolic: Vec<&crate::instr::MappedInstr> = exp.systolic_instrs().collect();
+    for class in revel_dfg::FuClass::ALL {
+        let needed = systolic.iter().filter(|i| i.class == class).count();
+        let avail = free.get(&class).map(|v| v.len()).unwrap_or(0);
+        if needed > avail {
+            return Err(ScheduleError::NotEnoughPes { class, needed, available: avail });
+        }
+    }
+    // Initial assignment: in instruction order, take tiles in row-major
+    // order per class (ports are on the top/bottom rows, so early nodes —
+    // typically closest to inputs — get top tiles).
+    let mut cursor: HashMap<revel_dfg::FuClass, usize> = HashMap::new();
+    for instr in &systolic {
+        let tiles = free.get(&instr.class).expect("checked above");
+        let c = cursor.entry(instr.class).or_insert(0);
+        placement.instr_pos.insert(instr.key, tiles[*c]);
+        *c += 1;
+    }
+
+    if systolic.len() <= 1 || iterations == 0 {
+        return Ok(placement);
+    }
+
+    // --- simulated annealing over systolic placements ---
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Reverse index: tile -> instr (systolic only).
+    let mut occupant: HashMap<MeshCoord, InstrKey> = HashMap::new();
+    for instr in &systolic {
+        occupant.insert(placement.instr_pos[&instr.key], instr.key);
+    }
+    let instr_class: HashMap<InstrKey, revel_dfg::FuClass> =
+        systolic.iter().map(|i| (i.key, i.class)).collect();
+
+    let cost = |placement: &Placement| -> i64 {
+        exp.edges
+            .iter()
+            .map(|e| {
+                let (a, b) = edge_coords(mesh, placement, e);
+                mesh.manhattan(a, b) as i64
+            })
+            .sum()
+    };
+    let mut cur_cost = cost(&placement);
+    let mut temp = (cur_cost as f64 / exp.edges.len().max(1) as f64).max(2.0);
+    let keys: Vec<InstrKey> = systolic.iter().map(|i| i.key).collect();
+    for step in 0..iterations {
+        // Pick an instruction and a random tile of the same class.
+        let k = keys[rng.gen_range(0..keys.len())];
+        let class = instr_class[&k];
+        let tiles = &free[&class];
+        let target = tiles[rng.gen_range(0..tiles.len())];
+        let source = placement.instr_pos[&k];
+        if target == source {
+            continue;
+        }
+        let other = occupant.get(&target).copied();
+        // Apply move/swap.
+        placement.instr_pos.insert(k, target);
+        if let Some(o) = other {
+            placement.instr_pos.insert(o, source);
+        }
+        let new_cost = cost(&placement);
+        let delta = new_cost - cur_cost;
+        let accept = delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temp).exp();
+        if accept {
+            cur_cost = new_cost;
+            occupant.insert(target, k);
+            match other {
+                Some(o) => {
+                    occupant.insert(source, o);
+                }
+                None => {
+                    occupant.remove(&source);
+                }
+            }
+        } else {
+            // Revert.
+            placement.instr_pos.insert(k, source);
+            if let Some(o) = other {
+                placement.instr_pos.insert(o, target);
+            }
+        }
+        if step % 64 == 63 {
+            temp *= 0.92;
+        }
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::expand;
+    use revel_dfg::{Dfg, OpCode, Region, RegionKind};
+    use revel_fabric::LaneConfig;
+    use revel_isa::{InPortId, OutPortId};
+
+    fn mesh() -> Mesh {
+        Mesh::for_lane(&LaneConfig::paper_default())
+    }
+
+    fn chain_region(n_ops: usize, unroll: usize) -> Region {
+        let mut g = Dfg::new("chain");
+        let mut v = g.input(InPortId(0));
+        for i in 0..n_ops {
+            let op = if i % 2 == 0 { OpCode::Add } else { OpCode::Mul };
+            v = g.op(op, &[v, v]);
+        }
+        g.output(v, OutPortId(0));
+        Region::new("chain", RegionKind::Systolic, g, unroll)
+    }
+
+    #[test]
+    fn placement_assigns_all_instrs() {
+        let exp = expand(&[chain_region(4, 2)]);
+        let p = place(&mesh(), &exp, 32, 7, 2000).unwrap();
+        assert_eq!(p.instr_pos.len(), 8);
+        // Systolic tiles are exclusive.
+        let mut seen = std::collections::HashSet::new();
+        for c in p.instr_pos.values() {
+            assert!(seen.insert(*c), "tile {c} assigned twice");
+        }
+    }
+
+    #[test]
+    fn placement_respects_fu_classes() {
+        let exp = expand(&[chain_region(4, 1)]);
+        let m = mesh();
+        let p = place(&m, &exp, 32, 7, 1000).unwrap();
+        for instr in &exp.instrs {
+            let tile = m.slot(p.instr_pos[&instr.key]);
+            assert_eq!(tile.kind, PeKind::Systolic(instr.class));
+        }
+    }
+
+    #[test]
+    fn too_many_instrs_rejected() {
+        // 13 multiplies x 1 > 9 multiplier tiles.
+        let mut g = Dfg::new("big");
+        let a = g.input(InPortId(0));
+        let mut v = a;
+        for _ in 0..13 {
+            v = g.op(OpCode::Mul, &[v, a]);
+        }
+        g.output(v, OutPortId(0));
+        let exp = expand(&[Region::systolic("big", g, 1)]);
+        let err = place(&mesh(), &exp, 32, 7, 100).unwrap_err();
+        assert!(matches!(err, ScheduleError::NotEnoughPes { .. }));
+    }
+
+    #[test]
+    fn temporal_goes_to_dpes() {
+        let mut g = Dfg::new("t");
+        let a = g.input(InPortId(0));
+        let r = g.op(OpCode::Recip, &[a]);
+        let s = g.op(OpCode::Mul, &[r, r]);
+        g.output(s, OutPortId(0));
+        let exp = expand(&[Region::temporal("t", g)]);
+        let m = mesh();
+        let p = place(&m, &exp, 32, 7, 0).unwrap();
+        for instr in &exp.instrs {
+            assert_eq!(m.slot(p.instr_pos[&instr.key]).kind, PeKind::Dataflow);
+        }
+        assert_eq!(p.dpe_load.values().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn temporal_overflow_rejected() {
+        let mut g = Dfg::new("huge");
+        let a = g.input(InPortId(0));
+        let mut v = a;
+        for _ in 0..40 {
+            v = g.op(OpCode::Add, &[v, a]);
+        }
+        g.output(v, OutPortId(0));
+        let exp = expand(&[Region::temporal("huge", g)]);
+        let err = place(&mesh(), &exp, 32, 7, 0).unwrap_err();
+        assert!(matches!(err, ScheduleError::TemporalOverflow { .. }));
+    }
+
+    #[test]
+    fn annealing_improves_or_keeps_cost() {
+        let exp = expand(&[chain_region(6, 2)]);
+        let m = mesh();
+        let init = place(&m, &exp, 32, 7, 0).unwrap();
+        let annealed = place(&m, &exp, 32, 7, 4000).unwrap();
+        let cost = |p: &Placement| -> i64 {
+            exp.edges
+                .iter()
+                .map(|e| {
+                    let (a, b) = edge_coords(&m, p, e);
+                    m.manhattan(a, b) as i64
+                })
+                .sum()
+        };
+        assert!(cost(&annealed) <= cost(&init));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let exp = expand(&[chain_region(5, 2)]);
+        let m = mesh();
+        let a = place(&m, &exp, 32, 42, 3000).unwrap();
+        let b = place(&m, &exp, 32, 42, 3000).unwrap();
+        assert_eq!(a.instr_pos, b.instr_pos);
+    }
+}

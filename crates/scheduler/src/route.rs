@@ -1,0 +1,225 @@
+//! Negotiated-congestion routing (Pathfinder-style) of dependences through
+//! the circuit-switched mesh.
+//!
+//! Each systolic dependence needs a dedicated path; temporal dependences
+//! may time-multiplex links. The router repeatedly routes every edge by
+//! cheapest path, then raises the cost of over-subscribed links and
+//! retries, converging to (near) conflict-free dedicated routes. Residual
+//! sharing is reported and becomes an initiation-interval penalty, since a
+//! shared circuit-switched link serializes its users.
+
+use crate::instr::Expansion;
+use crate::place::{edge_coords, Placement};
+use revel_fabric::{Mesh, MeshCoord, MeshLink};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Summary statistics of a routed configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// Total hops across all routed edges (per-firing network energy).
+    pub total_hops: u32,
+    /// Worst-case number of *dedicated* (systolic) edges sharing one link.
+    /// 1 means perfectly circuit-switched; >1 costs II.
+    pub max_link_sharing: u32,
+    /// Number of router iterations used.
+    pub iterations: u32,
+}
+
+/// Result of routing: one path per edge (parallel to `exp.edges`).
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// Links traversed by each edge, in order. Empty when source and
+    /// destination tiles coincide.
+    pub edge_paths: Vec<Vec<MeshLink>>,
+    /// Stats.
+    pub stats: RouteStats,
+}
+
+#[derive(PartialEq)]
+struct QueueEntry {
+    cost: f64,
+    coord: MeshCoord,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on cost.
+        other.cost.partial_cmp(&self.cost).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn shortest_path(
+    mesh: &Mesh,
+    from: MeshCoord,
+    to: MeshCoord,
+    link_cost: &HashMap<MeshLink, f64>,
+) -> Vec<MeshLink> {
+    if from == to {
+        return Vec::new();
+    }
+    let mut dist: HashMap<MeshCoord, f64> = HashMap::new();
+    let mut prev: HashMap<MeshCoord, MeshCoord> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(from, 0.0);
+    heap.push(QueueEntry { cost: 0.0, coord: from });
+    while let Some(QueueEntry { cost, coord }) = heap.pop() {
+        if coord == to {
+            break;
+        }
+        if cost > *dist.get(&coord).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for n in mesh.neighbors(coord) {
+            let link = MeshLink { from: coord, to: n };
+            let lc = 1.0 + link_cost.get(&link).copied().unwrap_or(0.0);
+            let nd = cost + lc;
+            if nd < *dist.get(&n).unwrap_or(&f64::INFINITY) {
+                dist.insert(n, nd);
+                prev.insert(n, coord);
+                heap.push(QueueEntry { cost: nd, coord: n });
+            }
+        }
+    }
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let p = prev[&cur];
+        path.push(MeshLink { from: p, to: cur });
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// Routes every edge of the expansion over the mesh.
+///
+/// `max_iterations` bounds the negotiation rounds; residual link sharing is
+/// reported in [`RouteStats::max_link_sharing`].
+pub fn route(
+    mesh: &Mesh,
+    exp: &Expansion,
+    placement: &Placement,
+    max_iterations: u32,
+) -> Routing {
+    let mut history: HashMap<MeshLink, f64> = HashMap::new();
+    let mut paths: Vec<Vec<MeshLink>> = vec![Vec::new(); exp.edges.len()];
+    let mut stats = RouteStats::default();
+
+    for iter in 0..max_iterations.max(1) {
+        stats.iterations = iter + 1;
+        // Route all edges with current costs.
+        let mut usage: HashMap<MeshLink, u32> = HashMap::new();
+        for (i, edge) in exp.edges.iter().enumerate() {
+            let (from, to) = edge_coords(mesh, placement, edge);
+            // Present-congestion cost: history plus current usage this round.
+            let mut cost = history.clone();
+            for (l, u) in &usage {
+                *cost.entry(*l).or_insert(0.0) += *u as f64 * 0.5;
+            }
+            let path = shortest_path(mesh, from, to, &cost);
+            for l in &path {
+                if edge.needs_dedicated_links() {
+                    *usage.entry(*l).or_insert(0) += 1;
+                }
+            }
+            paths[i] = path;
+        }
+        let overused: Vec<(MeshLink, u32)> =
+            usage.iter().filter(|&(_, &u)| u > 1).map(|(l, u)| (*l, *u)).collect();
+        let max_sharing = usage.values().copied().max().unwrap_or(1).max(1);
+        stats.max_link_sharing = max_sharing;
+        if overused.is_empty() {
+            break;
+        }
+        // Raise history cost on over-subscribed links and retry.
+        for (l, u) in overused {
+            *history.entry(l).or_insert(0.0) += u as f64;
+        }
+    }
+    stats.total_hops = paths.iter().map(|p| p.len() as u32).sum();
+    Routing { edge_paths: paths, stats }
+}
+
+/// Total hops per firing of a particular region.
+pub fn region_hops(exp: &Expansion, routing: &Routing, region: usize) -> u32 {
+    exp.edges
+        .iter()
+        .zip(&routing.edge_paths)
+        .filter(|(e, _)| e.region == region)
+        .map(|(_, p)| p.len() as u32)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::expand;
+    use crate::place::place;
+    use revel_dfg::{Dfg, OpCode, Region};
+    use revel_fabric::LaneConfig;
+    use revel_isa::{InPortId, OutPortId};
+
+    fn setup(unroll: usize) -> (Mesh, Expansion, Placement) {
+        let mut g = Dfg::new("g");
+        let a = g.input(InPortId(0));
+        let b = g.input(InPortId(1));
+        let m = g.op(OpCode::Mul, &[a, b]);
+        let s = g.op(OpCode::Add, &[m, b]);
+        g.output(s, OutPortId(0));
+        let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+        let exp = expand(&[Region::systolic("g", g, unroll)]);
+        let p = place(&mesh, &exp, 32, 11, 3000).unwrap();
+        (mesh, exp, p)
+    }
+
+    #[test]
+    fn paths_connect_endpoints() {
+        let (mesh, exp, p) = setup(2);
+        let r = route(&mesh, &exp, &p, 8);
+        for (edge, path) in exp.edges.iter().zip(&r.edge_paths) {
+            let (from, to) = edge_coords(&mesh, &p, edge);
+            if from == to {
+                assert!(path.is_empty());
+                continue;
+            }
+            assert_eq!(path.first().unwrap().from, from);
+            assert_eq!(path.last().unwrap().to, to);
+            for w in path.windows(2) {
+                assert_eq!(w[0].to, w[1].from, "path is contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn small_graph_routes_conflict_free() {
+        let (mesh, exp, p) = setup(1);
+        let r = route(&mesh, &exp, &p, 8);
+        assert_eq!(r.stats.max_link_sharing, 1, "dedicated links must not be shared");
+    }
+
+    #[test]
+    fn hops_at_least_manhattan() {
+        let (mesh, exp, p) = setup(2);
+        let r = route(&mesh, &exp, &p, 8);
+        for (edge, path) in exp.edges.iter().zip(&r.edge_paths) {
+            let (from, to) = edge_coords(&mesh, &p, edge);
+            assert!(path.len() as u32 >= mesh.manhattan(from, to));
+        }
+    }
+
+    #[test]
+    fn region_hop_totals() {
+        let (mesh, exp, p) = setup(1);
+        let r = route(&mesh, &exp, &p, 8);
+        assert_eq!(region_hops(&exp, &r, 0), r.stats.total_hops);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the spatial scheduler: random small region
+//! sets either schedule with sound timing or fail with a resource error —
+//! never panic, never produce impossible schedules.
+
+use proptest::prelude::*;
+use revel_dfg::{Dfg, OpCode, Region, RegionKind};
+use revel_fabric::{LaneConfig, Mesh};
+use revel_isa::{InPortId, OutPortId};
+use revel_scheduler::{ScheduleError, SpatialScheduler};
+
+/// A random chain-with-fanin DFG of `n_ops` operations.
+fn arb_region(max_ops: usize) -> impl Strategy<Value = Region> {
+    (
+        1usize..=max_ops,
+        proptest::collection::vec(0usize..3, max_ops),
+        1usize..=4,
+        any::<bool>(),
+    )
+        .prop_map(|(n_ops, kinds, unroll, temporal)| {
+            let mut g = Dfg::new("rand");
+            let a = g.input(InPortId(0));
+            let b = g.input(InPortId(1));
+            let mut v = a;
+            for k in kinds.iter().take(n_ops) {
+                let op = match k {
+                    0 => OpCode::Add,
+                    1 => OpCode::Mul,
+                    _ => OpCode::Sub,
+                };
+                v = g.op(op, &[v, b]);
+            }
+            g.output(v, OutPortId(0));
+            let kind = if temporal { RegionKind::Temporal } else { RegionKind::Systolic };
+            Region::new("rand", kind, g, unroll)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scheduling is total: success with sound timing, or a typed error.
+    #[test]
+    fn schedule_total_and_sound(region in arb_region(8), seed in 0u64..1000) {
+        let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+        let s = SpatialScheduler::new(mesh).with_seed(seed).with_sa_iterations(300);
+        match s.schedule(&[region.clone()]) {
+            Ok(sched) => {
+                let rs = &sched.regions[0];
+                prop_assert!(rs.latency >= 1);
+                prop_assert!(rs.ii >= 1);
+                // Latency at least the DFG's FU critical path.
+                prop_assert!(rs.latency >= region.dfg.critical_path_latency());
+                // Every mapped instruction has a placement.
+                prop_assert_eq!(
+                    sched.placement.len(),
+                    region.mapped_instructions()
+                );
+            }
+            Err(
+                ScheduleError::NotEnoughPes { .. }
+                | ScheduleError::TemporalOverflow { .. }
+                | ScheduleError::NoDataflowPes { .. },
+            ) => {}
+        }
+    }
+
+    /// Systolic placements are exclusive: no two instructions share a tile.
+    #[test]
+    fn systolic_tiles_exclusive(region in arb_region(5), seed in 0u64..100) {
+        prop_assume!(region.kind == RegionKind::Systolic);
+        let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+        let s = SpatialScheduler::new(mesh).with_seed(seed).with_sa_iterations(200);
+        if let Ok(sched) = s.schedule(&[region]) {
+            let mut seen = std::collections::HashSet::new();
+            for coord in sched.placement.values() {
+                prop_assert!(seen.insert(*coord), "tile {coord} shared");
+            }
+        }
+    }
+
+    /// Determinism: the same seed gives the same schedule.
+    #[test]
+    fn deterministic(region in arb_region(6), seed in 0u64..50) {
+        let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+        let a = SpatialScheduler::new(mesh.clone())
+            .with_seed(seed)
+            .with_sa_iterations(500)
+            .schedule(&[region.clone()]);
+        let b = SpatialScheduler::new(mesh)
+            .with_seed(seed)
+            .with_sa_iterations(500)
+            .schedule(&[region]);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.regions, y.regions);
+                prop_assert_eq!(x.placement, y.placement);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic success/failure"),
+        }
+    }
+}

@@ -1,0 +1,804 @@
+//! One REVEL vector lane: ports, active streams, region firing, and the
+//! triggered-instruction temporal executor.
+
+use crate::memory::Scratchpad;
+use crate::port::{InPort, OutPort};
+use crate::stats::CycleBreakdown;
+use revel_dfg::{Dfg, DfgEvaluator, Node, OpCode, Region, RegionKind, VecVal};
+use revel_fabric::{EventCounts, LaneConfig};
+use revel_isa::{AffinePattern, MemTarget, OutPortId, PatternElem, PatternIter, RateFsm};
+use revel_scheduler::RegionSchedule;
+use std::collections::VecDeque;
+
+/// A memory pattern walker with one-element lookahead (streams need to
+/// retry an element when the destination stalls).
+#[derive(Debug, Clone)]
+pub(crate) struct PatternWalker {
+    iter: PatternIter,
+    pending: Option<PatternElem>,
+}
+
+impl PatternWalker {
+    pub(crate) fn new(pattern: AffinePattern) -> Self {
+        PatternWalker { iter: pattern.iter(), pending: None }
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<PatternElem> {
+        if self.pending.is_none() {
+            self.pending = self.iter.next();
+        }
+        self.pending
+    }
+
+    pub(crate) fn advance(&mut self) {
+        self.pending = None;
+    }
+
+    pub(crate) fn exhausted(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// True if the remaining (unvisited) part of the pattern will touch
+    /// `addr`. Used for scratchpad store→load ordering.
+    pub(crate) fn remaining_contains(&mut self, addr: i64) -> bool {
+        if self.pending.is_none() {
+            self.pending = self.iter.next();
+        }
+        if let Some(p) = self.pending {
+            if p.offset == addr {
+                return true;
+            }
+        }
+        self.iter.clone().any(|e| e.offset == addr)
+    }
+
+    /// The outer-row index the walker is currently writing/reading, or
+    /// `i64::MAX` when exhausted.
+    pub(crate) fn current_row(&mut self) -> i64 {
+        match self.peek() {
+            Some(e) => e.j,
+            None => i64::MAX,
+        }
+    }
+}
+
+/// Tracks inner-row boundaries of a dependence stream so the destination
+/// port can apply stream predication (the port FSM "compares the remaining
+/// iterations with the port's vector length", §IV-B).
+#[derive(Debug, Clone)]
+pub(crate) struct RowTracker {
+    fsm: Option<RateFsm>,
+    idx: i64,
+    left: i64,
+}
+
+impl RowTracker {
+    pub(crate) fn new(fsm: Option<RateFsm>) -> Self {
+        let left = fsm.map(|f| f.count_at(0)).unwrap_or(0);
+        RowTracker { fsm, idx: 0, left }
+    }
+
+    /// Advances past one delivered word; returns true when that word ends
+    /// an inner row.
+    pub(crate) fn step(&mut self) -> bool {
+        let Some(f) = self.fsm else { return false };
+        self.left -= 1;
+        if self.left <= 0 {
+            self.idx += 1;
+            self.left = f.count_at(self.idx);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The body of an active stream resident in a lane's stream table.
+#[derive(Debug, Clone)]
+pub(crate) enum StreamBody {
+    /// Memory → input port.
+    Load { target: MemTarget, walker: PatternWalker, dst: u8, flushed: bool },
+    /// Output port → memory.
+    Store {
+        src: u8,
+        target: MemTarget,
+        walker: PatternWalker,
+        /// Addresses written so far (distinguishes write-once
+        /// producer→consumer streams from in-place multi-version rewrites
+        /// in the store→load ordering guard).
+        written: std::collections::HashSet<i64>,
+    },
+    /// Immediate values → input port.
+    Const { dst: u8, values: VecDeque<f64> },
+    /// Output port → input port, same lane.
+    XferLocal { src: u8, dst: u8, remaining: i64, rows: RowTracker },
+    /// Output port → input port of the lane to the right. The destination
+    /// port is reserved on the destination lane via the cmd-sync mechanism.
+    XferRight { src: u8, dst: u8, remaining: i64, rows: RowTracker },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveStream {
+    pub body: StreamBody,
+    /// Program-order issue sequence within the lane (for store→load
+    /// scratchpad ordering).
+    pub seq: u64,
+}
+
+impl ActiveStream {
+    /// The input port this stream occupies on *this* lane, if any.
+    pub(crate) fn local_in_port(&self) -> Option<u8> {
+        match &self.body {
+            StreamBody::Load { dst, .. }
+            | StreamBody::Const { dst, .. }
+            | StreamBody::XferLocal { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The output port this stream occupies on this lane, if any.
+    pub(crate) fn local_out_port(&self) -> Option<u8> {
+        match &self.body {
+            StreamBody::Store { src, .. }
+            | StreamBody::XferLocal { src, .. }
+            | StreamBody::XferRight { src, .. } => Some(*src),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_store(&self) -> bool {
+        matches!(self.body, StreamBody::Store { .. })
+    }
+}
+
+/// Per-instruction state of a temporal (dataflow) region instance.
+#[derive(Debug, Clone)]
+struct TempNode {
+    /// Index into the lane's dPE array this instruction is resident on.
+    dpe: usize,
+    latency: u64,
+    /// Indices (into the instance's `nodes`) of argument instructions;
+    /// Input/Const arguments are ready at instance creation.
+    args: Vec<usize>,
+    /// Completion cycle once issued.
+    done_at: Option<u64>,
+}
+
+/// A firing of a temporal region in flight on the dataflow PEs.
+#[derive(Debug, Clone)]
+pub(crate) struct TempInstance {
+    region: usize,
+    nodes: Vec<TempNode>,
+    outputs: Vec<(OutPortId, VecVal)>,
+}
+
+impl TempInstance {
+    pub(crate) fn region_index(&self) -> usize {
+        self.region
+    }
+}
+
+/// Static description of a temporal region's instruction graph, built once
+/// per configuration.
+#[derive(Debug, Clone)]
+struct TemporalShape {
+    /// For each instruction: (dpe index, latency, arg instruction indices).
+    nodes: Vec<(usize, u64, Vec<usize>)>,
+}
+
+/// One configured program region resident on the lane fabric.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionState {
+    pub region: Region,
+    eval: DfgEvaluator,
+    pub sched: RegionSchedule,
+    in_ports: Vec<u8>,
+    out_ports: Vec<u8>,
+    next_fire: u64,
+    /// Matured systolic results waiting for delivery: (ready, outputs).
+    inflight: VecDeque<(u64, Vec<(OutPortId, VecVal)>)>,
+    temporal_shape: Option<TemporalShape>,
+}
+
+impl RegionState {
+    /// Applies a `SetAccumLen` command to this region's accumulators.
+    pub(crate) fn set_accum_len(&mut self, len: RateFsm) {
+        self.eval.set_accum_len(len);
+    }
+
+    pub(crate) fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    pub(crate) fn next_fire_cycle(&self) -> u64 {
+        self.next_fire
+    }
+
+    pub(crate) fn is_temporal(&self) -> bool {
+        self.temporal_shape.is_some()
+    }
+
+    pub(crate) fn idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+/// One vector lane.
+#[derive(Debug, Clone)]
+pub(crate) struct Lane {
+    pub cfg: LaneConfig,
+    pub spad: Scratchpad,
+    pub in_ports: Vec<InPort>,
+    pub out_ports: Vec<OutPort>,
+    pub in_busy: Vec<bool>,
+    pub out_busy: Vec<bool>,
+    pub cmd_queue: VecDeque<revel_isa::StreamCommand>,
+    pub streams: Vec<ActiveStream>,
+    pub regions: Vec<RegionState>,
+    pub instances: Vec<TempInstance>,
+    /// Next stream sequence number.
+    pub next_seq: u64,
+    num_dpes: usize,
+    /// Reconfiguration completes at this cycle (0 = not reconfiguring).
+    pub reconfig_until: u64,
+    pub breakdown: CycleBreakdown,
+    pub events: EventCounts,
+    // Per-cycle flags for classification.
+    pub fired_systolic: u32,
+    pub fired_temporal: bool,
+    pub bw_starved: bool,
+    pub barrier_blocked: bool,
+    pub dep_blocked: bool,
+    pub draining: bool,
+    /// Hardware stream-predication support (ablation knob).
+    pub predication: bool,
+}
+
+impl Lane {
+    pub(crate) fn new(cfg: &LaneConfig, predication: bool) -> Self {
+        let in_ports = cfg
+            .in_port_widths
+            .iter()
+            .map(|w| InPort::new(*w, cfg.port_fifo_depth))
+            .collect::<Vec<_>>();
+        let out_ports = cfg
+            .out_port_widths
+            .iter()
+            .map(|w| OutPort::new(*w, cfg.port_fifo_depth))
+            .collect::<Vec<_>>();
+        Lane {
+            cfg: cfg.clone(),
+            spad: Scratchpad::new(cfg.spad_words),
+            in_busy: vec![false; in_ports.len()],
+            out_busy: vec![false; out_ports.len()],
+            in_ports,
+            out_ports,
+            cmd_queue: VecDeque::new(),
+            streams: Vec::new(),
+            regions: Vec::new(),
+            instances: Vec::new(),
+            next_seq: 0,
+            num_dpes: cfg.num_dataflow_pes.max(1),
+            reconfig_until: 0,
+            breakdown: CycleBreakdown::default(),
+            events: EventCounts::default(),
+            fired_systolic: 0,
+            fired_temporal: false,
+            bw_starved: false,
+            barrier_blocked: false,
+            dep_blocked: false,
+            draining: false,
+            predication,
+        }
+    }
+
+    pub(crate) fn reset_cycle_flags(&mut self) {
+        self.fired_systolic = 0;
+        self.fired_temporal = false;
+        self.bw_starved = false;
+        self.barrier_blocked = false;
+        self.dep_blocked = false;
+        self.draining = false;
+    }
+
+    /// Applies a fabric configuration: installs regions with their
+    /// schedules and resets all port state.
+    pub(crate) fn apply_config(&mut self, regions: &[Region], schedules: &[RegionSchedule]) {
+        assert_eq!(regions.len(), schedules.len());
+        self.regions.clear();
+        self.instances.clear();
+        for (region, sched) in regions.iter().zip(schedules) {
+            let temporal_shape = if region.kind == RegionKind::Temporal {
+                Some(build_temporal_shape(&region.dfg, self.num_dpes, region.unroll))
+            } else {
+                None
+            };
+            self.regions.push(RegionState {
+                eval: region.dfg.evaluator(region.unroll),
+                region: region.clone(),
+                sched: *sched,
+                in_ports: region.input_ports().iter().map(|p| p.0).collect(),
+                out_ports: region.output_ports().iter().map(|p| p.0).collect(),
+                next_fire: 0,
+                inflight: VecDeque::new(),
+                temporal_shape,
+            });
+        }
+        // Reset ports. Input ports bound to a region run at that region's
+        // logical width (scalar inputs at width 1); unbound ports default
+        // to their hardware width.
+        let mut logical: Vec<usize> = self.cfg.in_port_widths.clone();
+        for region in regions {
+            for (p, scalar) in region.input_bindings() {
+                logical[p.0 as usize] = region.port_logical_width(scalar);
+            }
+        }
+        for (i, p) in self.in_ports.iter_mut().enumerate() {
+            *p = InPort::new(logical[i], self.cfg.port_fifo_depth);
+        }
+        for (i, p) in self.out_ports.iter_mut().enumerate() {
+            *p = OutPort::new(self.cfg.out_port_widths[i], self.cfg.port_fifo_depth);
+        }
+        self.in_busy.iter_mut().for_each(|b| *b = false);
+        self.out_busy.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// True when no stream, firing, or temporal instance is outstanding.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.cmd_queue.is_empty()
+            && self.streams.is_empty()
+            && self.instances.is_empty()
+            && self.regions.iter().all(|r| r.idle())
+            && self.reconfig_until == 0
+    }
+
+    /// True when the fabric has drained (needed before reconfiguration).
+    pub(crate) fn fabric_drained(&self) -> bool {
+        self.streams.is_empty()
+            && self.instances.is_empty()
+            && self.regions.iter().all(|r| r.idle())
+    }
+
+    pub(crate) fn has_active_store(&self) -> bool {
+        self.streams.iter().any(|s| s.is_store())
+    }
+
+    /// Fires every region that is ready this cycle.
+    pub(crate) fn fire_regions(&mut self, now: u64) {
+        let has_pending_activity = !self.streams.is_empty()
+            || !self.cmd_queue.is_empty()
+            || !self.instances.is_empty();
+        for r in 0..self.regions.len() {
+            let ready = self.region_ready(r, now);
+            match ready {
+                ReadyState::Ready => self.fire_region(r, now),
+                ReadyState::MissingInput => {
+                    if has_pending_activity {
+                        self.dep_blocked = true;
+                    }
+                }
+                ReadyState::Blocked | ReadyState::NoData => {}
+            }
+        }
+    }
+
+    fn region_ready(&self, r: usize, now: u64) -> ReadyState {
+        let rs = &self.regions[r];
+        if now < rs.next_fire || rs.inflight.len() >= 8 {
+            return ReadyState::Blocked;
+        }
+        if rs.is_temporal() {
+            // Bound in-flight temporal instances per region.
+            let count = self.instances.iter().filter(|i| i.region == r).count();
+            if count >= 4 {
+                return ReadyState::Blocked;
+            }
+        }
+        let mut any_data = false;
+        for p in &rs.in_ports {
+            match self.in_ports[*p as usize].peek() {
+                Some(_) => any_data = true,
+                None => {
+                    return if any_data || self.in_ports_have_any_data(rs) {
+                        ReadyState::MissingInput
+                    } else {
+                        ReadyState::NoData
+                    };
+                }
+            }
+        }
+        for p in &rs.out_ports {
+            if !self.out_ports[*p as usize].has_space() {
+                return ReadyState::Blocked;
+            }
+        }
+        ReadyState::Ready
+    }
+
+    fn in_ports_have_any_data(&self, rs: &RegionState) -> bool {
+        rs.in_ports.iter().any(|p| self.in_ports[*p as usize].peek().is_some())
+    }
+
+    fn fire_region(&mut self, r: usize, now: u64) {
+        let unroll = self.regions[r].region.unroll;
+        let in_port_ids = self.regions[r].in_ports.clone();
+        // The fire covers `fire_valid` logical inner-loop elements: the
+        // minimum valid-lane count across full-width vector inputs.
+        let mut fire_valid = unroll as u32;
+        for p in &in_port_ids {
+            let port = &self.in_ports[*p as usize];
+            if port.width() == unroll && unroll > 1 {
+                if let Some(head) = port.peek() {
+                    fire_valid = fire_valid.min(head.valid_count());
+                }
+            }
+        }
+        let fire_valid = fire_valid.max(1);
+        // Gather inputs. Scalar-broadcast ports burn `fire_valid` reuse
+        // elements per fire (reuse counts are in element units); vector
+        // ports consume one presentation per fire.
+        let mut inputs = Vec::with_capacity(in_port_ids.len());
+        let mut min_valid = unroll as u32;
+        for p in &in_port_ids {
+            let port = &mut self.in_ports[*p as usize];
+            let v = if port.width() < unroll {
+                port.take_elems(fire_valid as i64)
+            } else {
+                port.take()
+            };
+            self.events.port_words += v.width() as u64;
+            let adapted = adapt_width(v, unroll);
+            min_valid = min_valid.min(adapted.valid_count());
+            inputs.push(adapted);
+        }
+        let is_temporal = self.regions[r].is_temporal();
+        let outputs = self.regions[r].eval.fire(&inputs);
+
+        // Event accounting.
+        if is_temporal {
+            // dPE instructions are counted when issued by the executor.
+        } else {
+            for (class, n) in self.regions[r].region.dfg.fu_demand() {
+                self.events.count_fu_op(class, (n * unroll) as u64);
+            }
+            self.events.switch_hops += self.regions[r].sched.hops_per_fire as u64;
+        }
+
+        if is_temporal {
+            let shape = self.regions[r].temporal_shape.clone().expect("temporal");
+            let nodes = shape
+                .nodes
+                .iter()
+                .map(|(dpe, lat, args)| TempNode {
+                    dpe: *dpe,
+                    latency: *lat,
+                    args: args.clone(),
+                    done_at: None,
+                })
+                .collect();
+            self.instances.push(TempInstance { region: r, nodes, outputs });
+            self.regions[r].next_fire = now + 1;
+        } else {
+            let rs = &mut self.regions[r];
+            let ready = now + rs.sched.latency as u64;
+            rs.inflight.push_back((ready, outputs));
+            let mut ii = rs.sched.ii as u64;
+            // Without hardware stream predication, a partially-valid vector
+            // fire degenerates to scalar-remainder execution: one extra
+            // cycle per valid lane beyond the first.
+            if !self.predication && (min_valid as usize) < unroll && min_valid > 0 {
+                ii += (min_valid - 1) as u64;
+            }
+            rs.next_fire = now + ii.max(1);
+            self.fired_systolic += 1;
+        }
+    }
+
+    /// Delivers matured systolic outputs to output ports (respecting
+    /// FIFO space — backpressure stalls delivery).
+    pub(crate) fn deliver_outputs(&mut self, now: u64) {
+        for r in 0..self.regions.len() {
+            loop {
+                let Some((ready, _)) = self.regions[r].inflight.front() else { break };
+                if *ready > now {
+                    break;
+                }
+                let all_fit = self.regions[r]
+                    .inflight
+                    .front()
+                    .expect("checked")
+                    .1
+                    .iter()
+                    .all(|(p, v)| !v.any_valid() || self.out_ports[p.0 as usize].has_space());
+                if !all_fit {
+                    break;
+                }
+                let (_, outs) = self.regions[r].inflight.pop_front().expect("checked");
+                for (p, v) in outs {
+                    if v.any_valid() {
+                        self.events.port_words += v.valid_count() as u64;
+                        self.out_ports[p.0 as usize].push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One cycle of the triggered-instruction executor: each dataflow PE
+    /// issues at most one ready instruction.
+    pub(crate) fn dpe_step(&mut self, now: u64) {
+        for dpe in 0..self.num_dpes {
+            'instances: for inst in self.instances.iter_mut() {
+                for n in 0..inst.nodes.len() {
+                    if inst.nodes[n].dpe != dpe || inst.nodes[n].done_at.is_some() {
+                        continue;
+                    }
+                    let ready = inst.nodes[n]
+                        .args
+                        .iter()
+                        .all(|a| inst.nodes[*a].done_at.map(|d| d <= now).unwrap_or(false));
+                    if !ready {
+                        continue;
+                    }
+                    // Remote operands pay a temporal-network penalty.
+                    let remote = inst.nodes[n]
+                        .args
+                        .iter()
+                        .any(|a| inst.nodes[*a].dpe != dpe);
+                    let extra = if remote { 2 } else { 0 };
+                    let lat = inst.nodes[n].latency;
+                    inst.nodes[n].done_at = Some(now + lat + extra);
+                    self.events.dpe_instrs += 1;
+                    self.fired_temporal = true;
+                    break 'instances;
+                }
+            }
+        }
+        // Retire finished instances — in order per region, so dataflow
+        // tag-ordering is preserved at the output ports even when a later
+        // instance finishes first on another PE.
+        let out_ports = &mut self.out_ports;
+        let events = &mut self.events;
+        let mut blocked_regions: Vec<usize> = Vec::new();
+        self.instances.retain(|inst| {
+            if blocked_regions.contains(&inst.region) {
+                return true;
+            }
+            let done = inst
+                .nodes
+                .iter()
+                .all(|n| n.done_at.map(|d| d <= now).unwrap_or(false));
+            let fits = done
+                && inst
+                    .outputs
+                    .iter()
+                    .all(|(p, v)| !v.any_valid() || out_ports[p.0 as usize].has_space());
+            if !done || !fits {
+                blocked_regions.push(inst.region);
+                return true;
+            }
+            for (p, v) in &inst.outputs {
+                if v.any_valid() {
+                    events.port_words += v.valid_count() as u64;
+                    out_ports[p.0 as usize].push(*v);
+                }
+            }
+            false
+        });
+    }
+}
+
+enum ReadyState {
+    Ready,
+    /// Some input port empty while others have data (a dependence stall).
+    MissingInput,
+    /// All input ports empty (nothing scheduled for this region yet).
+    NoData,
+    /// Structural block: II, pipeline depth, or output backpressure.
+    Blocked,
+}
+
+/// Widens or narrows a port vector to the region's unroll width:
+/// a scalar port value is broadcast; same-width passes through.
+fn adapt_width(v: VecVal, unroll: usize) -> VecVal {
+    if v.width() == unroll {
+        v
+    } else if v.width() == 1 {
+        match v.get(0) {
+            Some(x) => VecVal::splat(x, unroll),
+            None => VecVal::invalid(unroll),
+        }
+    } else {
+        panic!("port width {} incompatible with region unroll {unroll}", v.width());
+    }
+}
+
+/// Builds the instruction graph of a temporal region: per instruction node
+/// and unroll replica, its dPE (round-robin, matching the scheduler),
+/// latency, and argument instruction indices.
+fn build_temporal_shape(dfg: &Dfg, num_dpes: usize, unroll: usize) -> TemporalShape {
+    let mut nodes = Vec::new();
+    for replica in 0..unroll.max(1) {
+        // Map node-id -> instruction index within this replica.
+        let mut instr_index = vec![usize::MAX; dfg.len()];
+        let _ = replica;
+        for (id, node) in dfg.iter() {
+            let (lat, args) = match node {
+                Node::Op { op, args } => (op.latency() as u64, args.clone()),
+                Node::Accum { arg, .. } | Node::AccumVec { arg, .. } => {
+                    (OpCode::Add.latency() as u64, vec![*arg])
+                }
+                _ => continue,
+            };
+            let arg_instrs: Vec<usize> = args
+                .iter()
+                .filter_map(|a| {
+                    let idx = instr_index[a.0 as usize];
+                    (idx != usize::MAX).then_some(idx)
+                })
+                .collect();
+            instr_index[id.0 as usize] = nodes.len();
+            let dpe = nodes.len() % num_dpes;
+            nodes.push((dpe, lat, arg_instrs));
+        }
+    }
+    TemporalShape { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revel_isa::{InPortId, RateFsm};
+
+    fn lane() -> Lane {
+        Lane::new(&LaneConfig::paper_default(), true)
+    }
+
+    fn neg_region(unroll: usize) -> (Region, RegionSchedule) {
+        let mut g = Dfg::new("neg");
+        let a = g.input(InPortId(4)); // width 2
+        let n = g.op(OpCode::Neg, &[a]);
+        g.output(n, OutPortId(0));
+        (
+            Region::systolic("neg", g, unroll),
+            RegionSchedule { latency: 4, ii: 1, max_delay_fifo: 0, hops_per_fire: 4 },
+        )
+    }
+
+    #[test]
+    fn systolic_fire_and_deliver() {
+        let mut l = lane();
+        let (r, s) = neg_region(2);
+        l.apply_config(&[r], &[s]);
+        l.in_ports[4].bind_stream(RateFsm::ONCE);
+        assert!(l.in_ports[4].push_word(3.0, false));
+        assert!(l.in_ports[4].push_word(4.0, false));
+        l.fire_regions(0);
+        assert_eq!(l.fired_systolic, 1);
+        l.deliver_outputs(3);
+        assert_eq!(l.out_ports[0].occupancy(), 0, "latency 4 not yet reached");
+        l.deliver_outputs(4);
+        assert_eq!(l.out_ports[0].occupancy(), 1);
+        assert_eq!(l.out_ports[0].pop_kept(), Some(-3.0));
+        assert_eq!(l.out_ports[0].pop_kept(), Some(-4.0));
+    }
+
+    #[test]
+    fn region_respects_ii() {
+        let mut l = lane();
+        let (r, mut s) = neg_region(2);
+        s.ii = 3;
+        l.apply_config(&[r], &[s]);
+        l.in_ports[4].bind_stream(RateFsm::ONCE);
+        for i in 0..8 {
+            l.in_ports[4].push_word(i as f64, false);
+        }
+        l.fire_regions(0);
+        assert_eq!(l.fired_systolic, 1);
+        l.reset_cycle_flags();
+        l.fire_regions(1);
+        assert_eq!(l.fired_systolic, 0, "II=3 blocks cycle 1");
+        l.reset_cycle_flags();
+        l.fire_regions(3);
+        assert_eq!(l.fired_systolic, 1);
+    }
+
+    #[test]
+    fn temporal_region_executes_on_dpe() {
+        let mut l = lane();
+        let mut g = Dfg::new("recip");
+        let a = g.input(InPortId(5)); // scalar port
+        let d = g.op(OpCode::Recip, &[a]);
+        let m = g.op(OpCode::Mul, &[d, d]);
+        g.output(m, OutPortId(5));
+        let region = Region::temporal("recip", g);
+        let sched = RegionSchedule { latency: 1, ii: 1, max_delay_fifo: 0, hops_per_fire: 0 };
+        l.apply_config(&[region], &[sched]);
+        l.in_ports[5].bind_stream(RateFsm::ONCE);
+        l.in_ports[5].push_word(4.0, false);
+        l.fire_regions(0);
+        assert_eq!(l.instances.len(), 1);
+        // recip: 12 cycles, then mul: 4 cycles, 1 instr/cycle issue.
+        let mut produced_at = None;
+        for t in 0..40 {
+            l.dpe_step(t);
+            if l.out_ports[5].occupancy() > 0 && produced_at.is_none() {
+                produced_at = Some(t);
+            }
+        }
+        let at = produced_at.expect("output produced");
+        assert!(at >= 16, "recip+mul takes at least 16 cycles, got {at}");
+        assert_eq!(l.out_ports[5].pop_kept(), Some(1.0 / 16.0));
+        assert!(l.instances.is_empty());
+        assert_eq!(l.events.dpe_instrs, 2);
+    }
+
+    #[test]
+    fn broadcast_scalar_port_to_vector_region() {
+        let mut l = lane();
+        let mut g = Dfg::new("scale");
+        let x = g.input(InPortId(0)); // width 8
+        let s = g.input_scalar(InPortId(5)); // logical width 1 -> broadcast
+        let m = g.op(OpCode::Mul, &[x, s]);
+        g.output(m, OutPortId(0));
+        let region = Region::systolic("scale", g, 8);
+        let sched = RegionSchedule { latency: 4, ii: 1, max_delay_fifo: 0, hops_per_fire: 0 };
+        l.apply_config(&[region], &[sched]);
+        l.in_ports[0].bind_stream(RateFsm::ONCE);
+        l.in_ports[5].bind_stream(RateFsm::ONCE);
+        for i in 0..8 {
+            l.in_ports[0].push_word(i as f64, false);
+        }
+        l.in_ports[5].push_word(2.0, false);
+        l.fire_regions(0);
+        l.deliver_outputs(4);
+        let mut outs = Vec::new();
+        while let Some(v) = l.out_ports[0].pop_kept() {
+            outs.push(v);
+        }
+        assert_eq!(outs, [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn predicated_fire_without_hw_predication_pays_scalar_cycles() {
+        let mut lane_no_pred = Lane::new(&LaneConfig::paper_default(), false);
+        let mut g = Dfg::new("neg");
+        let a = g.input(InPortId(2)); // width 4
+        let n = g.op(OpCode::Neg, &[a]);
+        g.output(n, OutPortId(0));
+        let region = Region::systolic("neg", g, 4);
+        let sched = RegionSchedule { latency: 2, ii: 1, max_delay_fifo: 0, hops_per_fire: 0 };
+        lane_no_pred.apply_config(&[region], &[sched]);
+        lane_no_pred.in_ports[2].bind_stream(RateFsm::ONCE);
+        // 3 of 4 lanes valid (row end).
+        lane_no_pred.in_ports[2].push_word(1.0, false);
+        lane_no_pred.in_ports[2].push_word(2.0, false);
+        lane_no_pred.in_ports[2].push_word(3.0, true);
+        lane_no_pred.fire_regions(0);
+        // next_fire should be 0 + 1 + (3-1) = 3.
+        assert_eq!(lane_no_pred.regions[0].next_fire, 3);
+    }
+
+    #[test]
+    fn dep_blocked_flag_set() {
+        let mut l = lane();
+        let mut g = Dfg::new("two");
+        let a = g.input(InPortId(5)); // scalar port, will have data
+        let b = g.input(InPortId(4)); // empty port, awaited
+        let s = g.op(OpCode::Add, &[a, b]);
+        g.output(s, OutPortId(0));
+        let region = Region::systolic("two", g, 1);
+        let sched = RegionSchedule { latency: 2, ii: 1, max_delay_fifo: 0, hops_per_fire: 0 };
+        l.apply_config(&[region], &[sched]);
+        l.in_ports[5].bind_stream(RateFsm::ONCE);
+        l.in_ports[5].push_word(1.0, false);
+        // Pretend a stream is outstanding so the block counts as dependence.
+        l.streams.push(ActiveStream {
+            body: StreamBody::Const { dst: 4, values: VecDeque::new() },
+            seq: 0,
+        });
+        l.fire_regions(0);
+        assert_eq!(l.fired_systolic, 0);
+        assert!(l.dep_blocked);
+    }
+}

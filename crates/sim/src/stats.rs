@@ -1,0 +1,189 @@
+//! Cycle-level statistics: the bottleneck taxonomy of Fig. 23 plus event
+//! counters for the power model.
+
+use revel_fabric::EventCounts;
+
+/// What a lane did (or was blocked on) during one cycle, in priority order.
+/// These are exactly the categories of the paper's Fig. 23.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleClass {
+    /// Two or more systolic regions fired this cycle.
+    MultiIssue,
+    /// Exactly one systolic region fired.
+    Issue,
+    /// Only a temporal (dataflow-PE) instruction issued.
+    Temporal,
+    /// The fabric was draining for reconfiguration.
+    Drain,
+    /// A stream wanted to move data but scratchpad bandwidth was exhausted.
+    ScrBw,
+    /// Blocked on a scratchpad barrier.
+    ScrBarrier,
+    /// Waiting on a dependence: a region's input port was empty while its
+    /// producing stream had not delivered yet.
+    StreamDpd,
+    /// Waiting on the control core: no commands in the queue but the
+    /// program was not finished.
+    CtrlOvhd,
+    /// Nothing to do (program finished or lane unused).
+    Idle,
+}
+
+impl CycleClass {
+    /// All classes in display order (Fig. 23 stacking order).
+    pub const ALL: [CycleClass; 9] = [
+        CycleClass::MultiIssue,
+        CycleClass::Issue,
+        CycleClass::Temporal,
+        CycleClass::Drain,
+        CycleClass::ScrBw,
+        CycleClass::ScrBarrier,
+        CycleClass::StreamDpd,
+        CycleClass::CtrlOvhd,
+        CycleClass::Idle,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CycleClass::MultiIssue => "multi-issue",
+            CycleClass::Issue => "issue",
+            CycleClass::Temporal => "temporal",
+            CycleClass::Drain => "drain",
+            CycleClass::ScrBw => "scr-b/w",
+            CycleClass::ScrBarrier => "scr-barrier",
+            CycleClass::StreamDpd => "stream-dpd",
+            CycleClass::CtrlOvhd => "ctrl-ovhd",
+            CycleClass::Idle => "idle",
+        }
+    }
+}
+
+/// Per-lane cycle breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    counts: [u64; 9],
+}
+
+impl CycleBreakdown {
+    /// Records one cycle of the given class.
+    pub fn record(&mut self, class: CycleClass) {
+        let idx = CycleClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.counts[idx] += 1;
+    }
+
+    /// Cycles spent in a class.
+    pub fn count(&self, class: CycleClass) -> u64 {
+        let idx = CycleClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.counts[idx]
+    }
+
+    /// Total classified cycles.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of cycles in a class (0 when no cycles recorded).
+    pub fn fraction(&self, class: CycleClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / t as f64
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn add(&mut self, other: &CycleBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Cycles doing useful fabric work (multi-issue + issue + temporal).
+    pub fn busy(&self) -> u64 {
+        self.count(CycleClass::MultiIssue)
+            + self.count(CycleClass::Issue)
+            + self.count(CycleClass::Temporal)
+    }
+}
+
+/// The report returned by a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total cycles from start to completion.
+    pub cycles: u64,
+    /// Per-lane cycle breakdowns.
+    pub lane_breakdown: Vec<CycleBreakdown>,
+    /// Aggregate event counts (for the power model).
+    pub events: EventCounts,
+    /// Stream commands issued by the control core.
+    pub commands_issued: u64,
+    /// True if the run hit the cycle limit before completing (deadlock or
+    /// runaway program).
+    pub timed_out: bool,
+}
+
+impl RunReport {
+    /// Aggregate breakdown across lanes.
+    pub fn total_breakdown(&self) -> CycleBreakdown {
+        let mut total = CycleBreakdown::default();
+        for b in &self.lane_breakdown {
+            total.add(b);
+        }
+        total
+    }
+
+    /// Mean fabric utilization across lanes (busy cycles / total cycles).
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_breakdown();
+        if total.total() == 0 {
+            0.0
+        } else {
+            total.busy() as f64 / total.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_records_and_fractions() {
+        let mut b = CycleBreakdown::default();
+        b.record(CycleClass::Issue);
+        b.record(CycleClass::Issue);
+        b.record(CycleClass::CtrlOvhd);
+        b.record(CycleClass::MultiIssue);
+        assert_eq!(b.total(), 4);
+        assert_eq!(b.count(CycleClass::Issue), 2);
+        assert!((b.fraction(CycleClass::Issue) - 0.5).abs() < 1e-12);
+        assert_eq!(b.busy(), 3);
+    }
+
+    #[test]
+    fn breakdown_merge() {
+        let mut a = CycleBreakdown::default();
+        a.record(CycleClass::Drain);
+        let mut b = CycleBreakdown::default();
+        b.record(CycleClass::Drain);
+        b.record(CycleClass::Idle);
+        a.add(&b);
+        assert_eq!(a.count(CycleClass::Drain), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            CycleClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), CycleClass::ALL.len());
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let b = CycleBreakdown::default();
+        assert_eq!(b.fraction(CycleClass::Issue), 0.0);
+    }
+}

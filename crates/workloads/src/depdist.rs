@@ -1,0 +1,166 @@
+//! Inter-region dependence distance instrumentation (Fig. 6).
+//!
+//! Replays each kernel's scalar instruction stream with a dynamic
+//! instruction counter and records, for every inter-region value (a pivot
+//! reciprocal, a Householder `β`, a rotation `(c,s)` …), the distance in
+//! instructions from its production to its *last* consumption — the span a
+//! multi-threaded implementation would have to synchronize across. The
+//! paper's observation: most spans sit around a thousand instructions,
+//! far too fine for shared-memory synchronization.
+
+/// Cumulative distribution of dependence distances (instruction counts).
+#[derive(Debug, Clone, Default)]
+pub struct DepDistances {
+    distances: Vec<u64>,
+}
+
+impl DepDistances {
+    /// Records one dependence spanning `instrs` dynamic instructions.
+    pub fn record(&mut self, instrs: u64) {
+        self.distances.push(instrs);
+    }
+
+    /// All recorded distances, sorted ascending.
+    pub fn sorted(&self) -> Vec<u64> {
+        let mut d = self.distances.clone();
+        d.sort_unstable();
+        d
+    }
+
+    /// Number of recorded dependences.
+    pub fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// Fraction of dependences with distance <= `limit`.
+    pub fn cumulative_at(&self, limit: u64) -> f64 {
+        if self.distances.is_empty() {
+            return 0.0;
+        }
+        self.distances.iter().filter(|d| **d <= limit).count() as f64
+            / self.distances.len() as f64
+    }
+
+    /// Median distance.
+    pub fn median(&self) -> u64 {
+        let s = self.sorted();
+        if s.is_empty() {
+            0
+        } else {
+            s[s.len() / 2]
+        }
+    }
+}
+
+/// Cholesky: `ia`/`is` produced at the pivot, last consumed at the end of
+/// the trailing matrix update.
+pub fn cholesky_distances(n: usize) -> DepDistances {
+    let mut d = DepDistances::default();
+    let mut ic: u64 = 0; // dynamic instruction counter
+    for k in 0..n {
+        let produced = ic;
+        ic += 6; // inv, rsqrt sequences
+        // vector region (uses `is`)
+        ic += 2 * (n - k) as u64;
+        // matrix region (uses `ia` throughout)
+        for j in k + 1..n {
+            ic += 4 * (n - j) as u64;
+        }
+        d.record(ic - produced);
+    }
+    d
+}
+
+/// QR: `β`/`v0` produced per reflection, consumed through every column's
+/// dot + update.
+pub fn qr_distances(n: usize) -> DepDistances {
+    let mut d = DepDistances::default();
+    let mut ic: u64 = 0;
+    for k in 0..n.saturating_sub(1) {
+        let m = (n - k) as u64;
+        ic += 3 * m; // norm
+        let produced = ic;
+        ic += 10; // alpha, v0, beta
+        for _ in k..n {
+            ic += 5 * m; // dot + update per column
+        }
+        d.record(ic - produced);
+    }
+    d
+}
+
+/// SVD: the rotation `(c,s)` spans the column update of its pair.
+pub fn svd_distances(n: usize) -> DepDistances {
+    let mut d = DepDistances::default();
+    let mut ic: u64 = 0;
+    for p in 0..n - 1 {
+        for _q in p + 1..n {
+            ic += 6 * n as u64; // dots
+            let produced = ic;
+            ic += 14; // rotation chain
+            ic += 6 * n as u64; // column update
+            d.record(ic - produced);
+        }
+    }
+    d
+}
+
+/// Solver: the pivot spans the shrinking update.
+pub fn solver_distances(n: usize) -> DepDistances {
+    let mut d = DepDistances::default();
+    let mut ic: u64 = 0;
+    for j in 0..n {
+        let produced = ic;
+        ic += 4; // divide
+        ic += 3 * (n - j - 1) as u64; // update loop
+        d.record(ic - produced);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_basics() {
+        let mut d = DepDistances::default();
+        for v in [10, 100, 1000] {
+            d.record(v);
+        }
+        assert_eq!(d.median(), 100);
+        assert!((d.cumulative_at(100) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn kernels_have_kilo_instruction_spans() {
+        // Fig. 6: for n around 24, most spans are hundreds to thousands of
+        // instructions — too fine for threads, too coarse for registers.
+        for d in [
+            cholesky_distances(24),
+            qr_distances(24),
+            svd_distances(24),
+        ] {
+            assert!(!d.is_empty());
+            let med = d.median();
+            assert!(
+                (50..20_000).contains(&med),
+                "median span {med} out of the expected range"
+            );
+        }
+        // The solver's spans are shorter (it is the finest-grained kernel).
+        assert!(solver_distances(24).median() < 200);
+    }
+
+    #[test]
+    fn spans_grow_with_matrix_size() {
+        assert!(cholesky_distances(32).median() > cholesky_distances(12).median());
+        assert!(qr_distances(32).median() > qr_distances(12).median());
+    }
+}

@@ -1,0 +1,209 @@
+//! The workload suite: the `Workload` trait, built-kernel plumbing, the
+//! runner, and the Table V parameter sets.
+
+use revel_compiler::{lower_command, BuildCfg};
+use revel_isa::{LaneId, LaneMask, LaneScale, StreamCommand, VectorCommand};
+use revel_sim::{ControlStep, Machine, RevelProgram, RunReport, SimError};
+use std::rc::Rc;
+
+/// Pushes a stream command into a program after architecture lowering:
+/// on builds without first-class inductive streams the command may expand
+/// into many per-iteration commands (the control-overhead the vector-stream
+/// ISA amortizes).
+pub fn push_cmd(
+    prog: &mut RevelProgram,
+    cfg: &BuildCfg,
+    lanes: LaneMask,
+    scale: LaneScale,
+    cmd: StreamCommand,
+) {
+    for c in lower_command(cfg, cmd).cmds {
+        prog.control.push(ControlStep::Command(VectorCommand::scaled(lanes, scale, c)));
+    }
+}
+
+/// Initial scratchpad contents for a kernel.
+#[derive(Debug, Clone)]
+pub enum MemInit {
+    /// Data in one lane's private scratchpad.
+    Private {
+        /// Target lane.
+        lane: u8,
+        /// Word address.
+        addr: i64,
+        /// Values.
+        data: Vec<f64>,
+    },
+    /// Data in the shared scratchpad.
+    Shared {
+        /// Word address.
+        addr: i64,
+        /// Values.
+        data: Vec<f64>,
+    },
+}
+
+/// Verification callback: inspects machine memory after the run.
+pub type CheckFn = Rc<dyn Fn(&Machine) -> Result<(), String>>;
+
+/// A kernel compiled for a particular build configuration.
+#[derive(Clone)]
+pub struct BuiltKernel {
+    /// The program to execute.
+    pub program: RevelProgram,
+    /// Scratchpad initialization.
+    pub init: Vec<MemInit>,
+    /// Numerical verification against the reference implementation.
+    pub check: CheckFn,
+    /// Lanes the program actually uses.
+    pub lanes_used: usize,
+}
+
+impl std::fmt::Debug for BuiltKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltKernel")
+            .field("program", &self.program.name)
+            .field("lanes_used", &self.lanes_used)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A kernel of the evaluation suite.
+pub trait Workload {
+    /// Kernel name (matches the paper's figures).
+    fn name(&self) -> &'static str;
+    /// Human-readable parameter string (e.g. `"n=16"`).
+    fn params(&self) -> String;
+    /// Floating-point operations of one invocation.
+    fn flops(&self) -> u64;
+    /// Builds the kernel for a configuration.
+    fn build(&self, cfg: &BuildCfg) -> BuiltKernel;
+    /// True when the single-lane program can be replicated per lane for
+    /// batch execution (Table V batch-8 mode).
+    fn batchable(&self) -> bool {
+        true
+    }
+}
+
+/// The outcome of running a workload on the simulator.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Cycle count.
+    pub cycles: u64,
+    /// Full simulator report.
+    pub report: RunReport,
+    /// Verification result.
+    pub verified: Result<(), String>,
+}
+
+impl WorkloadRun {
+    /// Panics with a diagnostic if the run was wrong or hung.
+    pub fn assert_ok(&self, label: &str) {
+        assert!(!self.report.timed_out, "{label}: simulation deadlocked");
+        if let Err(e) = &self.verified {
+            panic!("{label}: verification failed: {e}");
+        }
+    }
+
+    /// FLOP/cycle given the workload's operation count.
+    pub fn flops_per_cycle(&self, flops: u64) -> f64 {
+        flops as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Builds the machine for `cfg`, initializes memory, runs, verifies.
+///
+/// # Errors
+/// Propagates simulator errors (malformed program / unschedulable config).
+pub fn run_workload(workload: &dyn Workload, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
+    let built = workload.build(cfg);
+    run_built(&built, cfg)
+}
+
+/// Runs an already-built kernel.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_built(built: &BuiltKernel, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
+    let mut machine = Machine::new(cfg.machine_config(), cfg.sim_options());
+    apply_init(&mut machine, &built.init);
+    let report = machine.run(&built.program)?;
+    let verified = if report.timed_out {
+        Err("timed out".to_string())
+    } else {
+        (built.check)(&machine)
+    };
+    Ok(WorkloadRun { cycles: report.cycles, report, verified })
+}
+
+/// Writes a kernel's initial data into the machine.
+pub fn apply_init(machine: &mut Machine, init: &[MemInit]) {
+    for mi in init {
+        match mi {
+            MemInit::Private { lane, addr, data } => {
+                machine.write_private(LaneId(*lane), *addr, data);
+            }
+            MemInit::Shared { addr, data } => machine.write_shared(*addr, data),
+        }
+    }
+}
+
+/// Replicates a single-lane kernel across `lanes` lanes (batch mode: each
+/// lane runs one independent input, Table V batch-8).
+///
+/// Commands targeting lane 0 are re-masked to all lanes (pure broadcast —
+/// one command drives every lane, the vector-stream amortization in space);
+/// private-memory initialization is replicated per lane with a fresh seed
+/// offset so lanes hold distinct inputs only when the builder provides
+/// per-lane data.
+///
+/// # Panics
+/// Panics if the kernel is not single-lane.
+pub fn replicate_for_batch(built: &BuiltKernel, lanes: usize) -> BuiltKernel {
+    assert_eq!(built.lanes_used, 1, "batch replication needs a single-lane kernel");
+    let mut program = built.program.clone();
+    let mask = revel_isa::LaneMask::all(lanes as u8);
+    for step in &mut program.control {
+        if let revel_sim::ControlStep::Command(vc) = step {
+            vc.lanes = mask;
+        }
+    }
+    let mut init = Vec::new();
+    for mi in &built.init {
+        match mi {
+            MemInit::Private { addr, data, .. } => {
+                for l in 0..lanes {
+                    init.push(MemInit::Private { lane: l as u8, addr: *addr, data: data.clone() });
+                }
+            }
+            shared => init.push(shared.clone()),
+        }
+    }
+    let inner_check = built.check.clone();
+    BuiltKernel {
+        program,
+        init,
+        // Lane 0 carries the reference data; verifying it suffices since
+        // all lanes execute identical programs on identical data.
+        check: inner_check,
+        lanes_used: lanes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_run_flops_per_cycle() {
+        let report = RunReport {
+            cycles: 100,
+            lane_breakdown: vec![],
+            events: Default::default(),
+            commands_issued: 1,
+            timed_out: false,
+        };
+        let run = WorkloadRun { cycles: 100, report, verified: Ok(()) };
+        assert!((run.flops_per_cycle(400) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! The experiment generators must reproduce the *shapes* of the paper's
+//! evaluation: who wins, by roughly what factor, where the crossovers are.
+
+use revel_core::{experiments as ex, Bench};
+
+fn parse_ratio(s: &str) -> f64 {
+    s.trim_end_matches('x').parse().unwrap()
+}
+
+fn parse_pct(s: &str) -> f64 {
+    s.trim_end_matches('%').parse().unwrap()
+}
+
+#[test]
+fn fig01_platforms_far_below_ideal_on_factorizations() {
+    let t = ex::fig01_percent_ideal();
+    // rows: svd, qr, cholesky, solver, fft, gemm, fir
+    for row in &t.rows {
+        let dsp = parse_pct(&row[3]);
+        assert!(dsp < 100.0, "{row:?}");
+        if ["svd", "cholesky", "fft"].contains(&row[0].as_str()) {
+            assert!(dsp < 25.0, "inductive kernel near peak on DSP: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig06_dependences_are_kilo_instruction_scale() {
+    let t = ex::fig06_dep_distance();
+    for row in &t.rows {
+        let p_10k = parse_pct(&row[6]);
+        assert!(p_10k > 99.0, "{row:?}");
+    }
+}
+
+#[test]
+fn fig19_geomeans_match_paper_ordering() {
+    let comps = ex::run_comparisons(&Bench::suite_large());
+    let t = ex::fig19_batch1(&comps);
+    for row in &t.rows {
+        let revel = parse_ratio(&row[2]);
+        assert!(revel > 1.0, "REVEL must beat the DSP: {row:?}");
+        let systolic = parse_ratio(&row[3]);
+        let dataflow = parse_ratio(&row[4]);
+        assert!(revel >= systolic - 1e-9, "{row:?}");
+        assert!(revel > dataflow, "{row:?}");
+    }
+}
+
+#[test]
+fn fig23_breakdown_sums_to_one() {
+    let comps = ex::run_comparisons(&[Bench::Cholesky { n: 16 }, Bench::Fft { n: 64 }]);
+    let t = ex::fig23_bottlenecks(&comps);
+    for row in &t.rows {
+        let total: f64 = row[2..].iter().map(|c| parse_pct(c)).sum();
+        assert!((total - 100.0).abs() < 1.0, "breakdown sums to {total}: {row:?}");
+    }
+}
+
+#[test]
+fn fig23_fft_shows_barrier_or_drain_overhead() {
+    let comps = ex::run_comparisons(&[Bench::Fft { n: 64 }]);
+    let t = ex::fig23_bottlenecks(&comps);
+    // columns: kernel, params, multi-issue, issue, temporal, drain,
+    // scr-b/w, scr-barrier, stream-dpd, ctrl-ovhd, idle
+    let row = &t.rows[0];
+    let drain = parse_pct(&row[5]) + parse_pct(&row[7]);
+    assert!(drain > 1.0, "small FFT should show drain/barrier cycles: {row:?}");
+}
+
+#[test]
+fn tab07_power_overhead_near_2x() {
+    let comps = ex::run_comparisons(&Bench::suite_large());
+    let t = ex::tab07_asic_overhead(&comps);
+    for row in &t.rows {
+        let p = parse_ratio(&row[1]);
+        assert!((1.0..6.0).contains(&p), "power overhead out of family: {row:?}");
+    }
+}
+
+#[test]
+fn fig22_ladder_never_regresses_at_the_top() {
+    let t = ex::fig22_ablation();
+    for row in &t.rows {
+        let full = parse_ratio(&row[4]);
+        assert!(full >= 0.95, "full REVEL slower than systolic base: {row:?}");
+        if ["cholesky", "qr", "solver", "svd"].contains(&row[0].as_str()) {
+            assert!(full > 1.3, "inductive kernel should gain: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The binary encoding must round-trip every real kernel program: the
+//! REVEL builds of all seven kernels are encodable command streams.
+
+use revel_core::compiler::BuildCfg;
+use revel_core::isa::{decode_program, encode_program};
+use revel_core::sim::ControlStep;
+use revel_core::Bench;
+
+#[test]
+fn all_revel_kernel_programs_roundtrip() {
+    for b in Bench::suite_small() {
+        let built = b.workload().build(&BuildCfg::revel(b.lanes()));
+        let commands: Vec<_> = built
+            .program
+            .control
+            .iter()
+            .filter_map(|s| match s {
+                ControlStep::Command(vc) => Some(vc.clone()),
+                ControlStep::Host(_) => None,
+            })
+            .collect();
+        assert!(!commands.is_empty(), "{}", b.name());
+        let words = encode_program(&commands);
+        let decoded = decode_program(&words).expect("decodes");
+        assert_eq!(decoded.len(), commands.len(), "{}", b.name());
+        for (d, c) in decoded.iter().zip(&commands) {
+            assert_eq!(d.cmd, c.cmd, "{}", b.name());
+            assert_eq!(d.lanes, c.lanes);
+        }
+    }
+}
+
+#[test]
+fn revel_programs_have_no_host_fallbacks() {
+    // The hybrid fabric runs everything; host steps only exist on the
+    // systolic baseline.
+    for b in Bench::suite_small() {
+        let built = b.workload().build(&BuildCfg::revel(b.lanes()));
+        let hosts = built
+            .program
+            .control
+            .iter()
+            .filter(|s| matches!(s, ControlStep::Host(_)))
+            .count();
+        assert_eq!(hosts, 0, "{} uses the host in a REVEL build", b.name());
+    }
+}
+
+#[test]
+fn command_counts_show_control_amortization() {
+    // Inductive streams compress the control stream: the systolic
+    // baseline's program has far more commands than REVEL's.
+    let b = Bench::Cholesky { n: 24 };
+    let revel = b.workload().build(&BuildCfg::revel(1)).program.num_commands();
+    let baseline =
+        b.workload().build(&BuildCfg::systolic_baseline(1)).program.num_commands();
+    assert!(
+        baseline as f64 > 2.0 * revel as f64,
+        "baseline {baseline} vs revel {revel} commands"
+    );
+}
