@@ -1,32 +1,23 @@
 //! Reference-implementation throughput (the golden models themselves).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use revel_bench::harness::bench;
 use revel_core::workloads::{data, reference};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let n = 32;
     let spd = data::spd_matrix(n, 1);
     let tri = data::triangular_system(n, 2);
     let dense = data::matrix(n, n, 3);
-    let mut g = c.benchmark_group("reference");
-    g.bench_function("cholesky-32", |b| b.iter(|| reference::cholesky(&spd, n)));
-    g.bench_function("solver-32", |b| {
-        b.iter(|| {
-            let mut rhs = data::vector(n, 4);
-            reference::solver(&tri, n, &mut rhs);
-            rhs
-        })
+    bench("reference", "cholesky-32", || reference::cholesky(&spd, n));
+    bench("reference", "solver-32", || {
+        let mut rhs = data::vector(n, 4);
+        reference::solver(&tri, n, &mut rhs);
+        rhs
     });
-    g.bench_function("qr-32", |b| b.iter(|| reference::qr(&dense, n)));
-    g.bench_function("fft-1024", |b| {
-        b.iter(|| {
-            let mut x = data::vector(2048, 5);
-            reference::fft(&mut x);
-            x
-        })
+    bench("reference", "qr-32", || reference::qr(&dense, n));
+    bench("reference", "fft-1024", || {
+        let mut x = data::vector(2048, 5);
+        reference::fft(&mut x);
+        x
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

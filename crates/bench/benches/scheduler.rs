@@ -1,7 +1,7 @@
 //! Spatial-compiler cost: placement (simulated annealing) + routing
 //! (negotiated congestion) for a multi-region configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use revel_bench::harness::bench;
 use revel_core::dfg::{Dfg, OpCode, Region};
 use revel_core::fabric::{LaneConfig, Mesh};
 use revel_core::isa::{InPortId, OutPortId};
@@ -26,20 +26,13 @@ fn cholesky_like_regions() -> Vec<Region> {
     vec![Region::temporal("point", point), Region::systolic("matrix", matrix, 4)]
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn main() {
     let regions = cholesky_like_regions();
-    let mut g = c.benchmark_group("scheduler");
     for iters in [500usize, 4000] {
-        g.bench_function(format!("place-route-sa{iters}"), |bench| {
-            bench.iter(|| {
-                let mesh = Mesh::for_lane(&LaneConfig::paper_default());
-                let s = SpatialScheduler::new(mesh).with_sa_iterations(iters);
-                s.schedule(&regions).expect("schedules")
-            })
+        bench("scheduler", &format!("place-route-sa{iters}"), || {
+            let mesh = Mesh::for_lane(&LaneConfig::paper_default());
+            let s = SpatialScheduler::new(mesh).with_sa_iterations(iters);
+            s.schedule(&regions).expect("schedules")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_scheduler);
-criterion_main!(benches);

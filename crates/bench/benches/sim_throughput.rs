@@ -1,28 +1,21 @@
 //! Simulator throughput: how fast the cycle-level model runs each kernel
 //! (wall-clock per simulated kernel invocation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use revel_bench::harness::bench;
 use revel_core::compiler::BuildCfg;
 use revel_core::Bench;
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
+fn main() {
     for b in [
         Bench::Cholesky { n: 16 },
         Bench::Solver { n: 16 },
         Bench::Fft { n: 256 },
         Bench::Gemm { m: 12, k: 16, p: 64 },
     ] {
-        g.bench_function(format!("{}-{}", b.name(), b.params()), |bench| {
-            bench.iter(|| {
-                let run = b.run(&BuildCfg::revel(b.lanes())).expect("runs");
-                assert!(!run.report.timed_out);
-                run.cycles
-            })
+        bench("sim", &format!("{}-{}", b.name(), b.params()), || {
+            let run = b.run(&BuildCfg::revel(b.lanes())).expect("runs");
+            assert!(!run.report.timed_out);
+            run.cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,14 +1,11 @@
 //! ISA micro-costs: pattern expansion and program encode/decode.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use revel_bench::harness::bench;
 use revel_core::isa::*;
 
-fn bench_streams(c: &mut Criterion) {
+fn main() {
     let tri = AffinePattern::two_d(0, 1, 33, 32, 32, -1);
-    let mut g = c.benchmark_group("isa");
-    g.bench_function("triangular-pattern-walk", |b| {
-        b.iter(|| tri.iter().map(|e| e.offset).sum::<i64>())
-    });
+    bench("isa", "triangular-pattern-walk", || tri.iter().map(|e| e.offset).sum::<i64>());
     let program: Vec<VectorCommand> = (0..64)
         .map(|i| {
             VectorCommand::broadcast(
@@ -22,11 +19,7 @@ fn bench_streams(c: &mut Criterion) {
             )
         })
         .collect();
-    g.bench_function("encode-64-commands", |b| b.iter(|| encode_program(&program)));
+    bench("isa", "encode-64-commands", || encode_program(&program));
     let words = encode_program(&program);
-    g.bench_function("decode-64-commands", |b| b.iter(|| decode_program(&words).unwrap()));
-    g.finish();
+    bench("isa", "decode-64-commands", || decode_program(&words).unwrap());
 }
-
-criterion_group!(benches, bench_streams);
-criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! `revel_lint` — the static verification pass on the command line.
+//!
+//! Lints every paper workload (or a selected one) as built for one or more
+//! architectures, printing each diagnostic with its stable code. Exits
+//! non-zero if any error-severity finding survives.
+//!
+//! ```text
+//! revel_lint                         # small suite, REVEL architecture
+//! revel_lint --arch all              # ... on REVEL + both baselines
+//! revel_lint --suite large           # Table V large sizes
+//! revel_lint --bench cholesky        # one kernel only
+//! revel_lint --program-only          # skip the (slow) spatial compile
+//! revel_lint --explain V007          # what a code means and how to fix it
+//! ```
+
+use revel_core::compiler::BuildCfg;
+use revel_core::verify::{Code, Severity, Verifier};
+use revel_core::Bench;
+use std::time::Instant;
+
+struct Opts {
+    suite: &'static str,
+    arch: String,
+    bench: Option<String>,
+    program_only: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: revel_lint [--suite small|large] [--arch revel|systolic|dataflow|all] \
+         [--bench NAME] [--program-only] [--explain CODE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts =
+        Opts { suite: "small", arch: "revel".to_string(), bench: None, program_only: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--suite" => match args.next().as_deref() {
+                Some("small") => opts.suite = "small",
+                Some("large") => opts.suite = "large",
+                _ => usage(),
+            },
+            "--arch" => match args.next() {
+                Some(v) if ["revel", "systolic", "dataflow", "all"].contains(&v.as_str()) => {
+                    opts.arch = v;
+                }
+                _ => usage(),
+            },
+            "--bench" => match args.next() {
+                Some(v) => opts.bench = Some(v),
+                None => usage(),
+            },
+            "--program-only" => opts.program_only = true,
+            "--explain" => match args.next() {
+                Some(v) => explain(&v),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let benches = match opts.suite {
+        "large" => Bench::suite_large(),
+        _ => Bench::suite_small(),
+    };
+    let archs: Vec<&str> = match opts.arch.as_str() {
+        "all" => vec!["revel", "systolic", "dataflow"],
+        a => vec![match a {
+            "revel" => "revel",
+            "systolic" => "systolic",
+            _ => "dataflow",
+        }],
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut linted = 0usize;
+    for bench in &benches {
+        if let Some(want) = &opts.bench {
+            if bench.name() != want {
+                continue;
+            }
+        }
+        linted += 1;
+        for arch in &archs {
+            let cfg = match *arch {
+                "revel" => BuildCfg::revel(bench.lanes()),
+                "systolic" => BuildCfg::systolic_baseline(bench.lanes()),
+                _ => BuildCfg::dataflow_baseline(bench.lanes()),
+            };
+            let started = Instant::now();
+            let built = bench.workload().build(&cfg);
+            let verifier =
+                if opts.program_only { Verifier::program_only() } else { Verifier::new() };
+            let diags = verifier.verify(&built.program, &cfg.machine_config());
+            let label = format!("{} ({}) [{arch}]", bench.name(), bench.params());
+            if diags.is_empty() {
+                println!("{label}: clean ({:.1?})", started.elapsed());
+            } else {
+                println!("{label}:");
+                for d in &diags {
+                    match d.severity() {
+                        Severity::Error => errors += 1,
+                        Severity::Warning => warnings += 1,
+                    }
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+    if linted == 0 {
+        let known: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+        eprintln!(
+            "no bench named '{}' (known: {})",
+            opts.bench.as_deref().unwrap_or(""),
+            known.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if errors + warnings > 0 {
+        println!("{errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Prints the long-form explanation for one diagnostic code and exits.
+fn explain(code: &str) -> ! {
+    for c in Code::ALL {
+        if c.as_str().eq_ignore_ascii_case(code) {
+            println!("{c} ({}): {}", c.severity(), c.summary());
+            println!();
+            println!("{}", c.explain());
+            std::process::exit(0);
+        }
+    }
+    eprintln!("unknown code '{code}' (known: V001..V014)");
+    std::process::exit(2);
+}

@@ -1,8 +1,10 @@
 //! # revel-bench — the experiment harness
 //!
-//! One binary per paper table/figure (see `src/bin/`) plus Criterion
-//! microbenchmarks of the infrastructure itself (`benches/`). Run
-//! everything with `cargo run -p revel-bench --bin all_experiments
-//! --release`.
+//! One binary per paper table/figure (see `src/bin/`) plus wall-clock
+//! microbenchmarks of the infrastructure itself (`benches/`, using the
+//! in-repo [`harness`]). Run everything with `cargo run -p revel-bench
+//! --bin all_experiments --release`.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;

@@ -120,14 +120,10 @@ impl BuildCfg {
     pub fn ablation(step: AblationStep, num_lanes: usize) -> Self {
         match step {
             AblationStep::Systolic => Self::systolic_baseline(num_lanes),
-            AblationStep::InductiveStreams => BuildCfg {
-                inductive_streams: true,
-                ..Self::systolic_baseline(num_lanes)
-            },
-            AblationStep::Hybrid => BuildCfg {
-                predication: false,
-                ..Self::revel(num_lanes)
-            },
+            AblationStep::InductiveStreams => {
+                BuildCfg { inductive_streams: true, ..Self::systolic_baseline(num_lanes) }
+            }
+            AblationStep::Hybrid => BuildCfg { predication: false, ..Self::revel(num_lanes) },
             AblationStep::StreamPredication => Self::revel(num_lanes),
         }
     }
@@ -194,18 +190,9 @@ mod tests {
 
     #[test]
     fn machine_configs_match_arch() {
-        assert_eq!(
-            BuildCfg::revel(8).machine_config().lane.num_dataflow_pes,
-            1
-        );
-        assert_eq!(
-            BuildCfg::systolic_baseline(8).machine_config().lane.num_dataflow_pes,
-            0
-        );
-        assert_eq!(
-            BuildCfg::dataflow_baseline(8).machine_config().lane.num_dataflow_pes,
-            25
-        );
+        assert_eq!(BuildCfg::revel(8).machine_config().lane.num_dataflow_pes, 1);
+        assert_eq!(BuildCfg::systolic_baseline(8).machine_config().lane.num_dataflow_pes, 0);
+        assert_eq!(BuildCfg::dataflow_baseline(8).machine_config().lane.num_dataflow_pes, 25);
         assert_eq!(BuildCfg::revel_with_dpes(8, 4).machine_config().lane.num_dataflow_pes, 4);
     }
 

@@ -23,10 +23,7 @@ pub fn add_fsm_overhead(dfg: &Dfg, num_deps: usize) -> Dfg {
     }
     let mut g = dfg.clone();
     // Anchor the chain on an input if one exists, else on a constant.
-    let input_anchor = g
-        .iter()
-        .find(|(_, n)| matches!(n, Node::Input { .. }))
-        .map(|(id, _)| id);
+    let input_anchor = g.iter().find(|(_, n)| matches!(n, Node::Input { .. })).map(|(id, _)| id);
     let anchor = match input_anchor {
         Some(id) => id,
         None => g.konst(0.0),

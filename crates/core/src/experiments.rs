@@ -127,9 +127,7 @@ pub fn fig19_batch1(comparisons: &[Comparison]) -> Table {
     t.note(format!("geomean REVEL speedup over DSP: {g:.1}x (paper: 11x small / 17x large)"));
     let gs = geomean(comparisons.iter().map(|c| c.speedup_vs_systolic()));
     let gd = geomean(comparisons.iter().map(|c| c.speedup_vs_dataflow()));
-    t.note(format!(
-        "geomean vs systolic {gs:.1}x (paper 3.3x), vs dataflow {gd:.1}x (paper 3.5x)"
-    ));
+    t.note(format!("geomean vs systolic {gs:.1}x (paper 3.3x), vs dataflow {gd:.1}x (paper 3.5x)"));
     t
 }
 
@@ -137,20 +135,15 @@ pub fn fig19_batch1(comparisons: &[Comparison]) -> Table {
 /// likewise runs one instance per core, so its per-instance time is its
 /// single-core time.
 pub fn fig20_batch8() -> Table {
-    let mut t = Table::new(
-        "Figure 20: batch-8 speedup over DSP",
-        &["kernel", "params", "revel"],
-    );
+    let mut t = Table::new("Figure 20: batch-8 speedup over DSP", &["kernel", "params", "revel"]);
     let mut speeds = Vec::new();
     for b in Bench::suite_small() {
         let lanes = 8;
         // GEMM/FIR already use all lanes for one input; batch scales both
         // platforms equally, so the batch-1 number carries over.
-        let run = revel_workloads::run_workload(
-            b.batch_workload().as_ref(),
-            &BuildCfg::revel(lanes),
-        )
-        .expect("run");
+        let run =
+            revel_workloads::run_workload(b.batch_workload().as_ref(), &BuildCfg::revel(lanes))
+                .expect("run");
         run.assert_ok(b.name());
         let revel_cycles = run.cycles;
         let s = b.dsp_cycles() as f64 / revel_cycles as f64;
@@ -239,10 +232,12 @@ pub fn fig24_dpe_sensitivity() -> Table {
         "Figure 24: dataflow-PE count sensitivity (cycles; area)",
         &["kernel", "1 dPE", "2 dPE", "4 dPE", "8 dPE"],
     );
-    let benches =
-        [Bench::Svd { n: 16 }, Bench::Qr { n: 16 }, Bench::Cholesky { n: 16 }, Bench::Solver {
-            n: 16,
-        }];
+    let benches = [
+        Bench::Svd { n: 16 },
+        Bench::Qr { n: 16 },
+        Bench::Cholesky { n: 16 },
+        Bench::Solver { n: 16 },
+    ];
     for b in benches {
         let mut cells = vec![b.name().to_string()];
         for dpes in [1usize, 2, 4, 8] {
@@ -303,10 +298,7 @@ pub fn fig25_perf_per_area(comparisons: &[Comparison]) -> Table {
 
 /// Table IV: the ideal ASIC cycle models.
 pub fn tab04_asic_models() -> Table {
-    let mut t = Table::new(
-        "Table IV: ideal ASIC model cycles",
-        &["kernel", "small", "large"],
-    );
+    let mut t = Table::new("Table IV: ideal ASIC model cycles", &["kernel", "small", "large"]);
     for (s, l) in Bench::suite_small().into_iter().zip(Bench::suite_large()) {
         t.row(vec![
             s.name().into(),
@@ -348,12 +340,8 @@ pub fn tab07_asic_overhead(comparisons: &[Comparison]) -> Table {
     let mut povs = Vec::new();
     for c in comparisons {
         let lanes = c.bench.lanes();
-        let pov = power::power_overhead(
-            &c.revel.report.events,
-            c.revel.cycles,
-            ACCEL_CLOCK_GHZ,
-            lanes,
-        );
+        let pov =
+            power::power_overhead(&c.revel.report.events, c.revel.cycles, ACCEL_CLOCK_GHZ, lanes);
         let aov = power::revel_area_mm2(lanes) / power::asic_area_mm2(lanes);
         povs.push(pov);
         t.row(vec![c.bench.name().into(), ratio(pov), ratio(aov)]);

@@ -35,4 +35,5 @@ pub use revel_isa as isa;
 pub use revel_models as models;
 pub use revel_scheduler as scheduler;
 pub use revel_sim as sim;
+pub use revel_verify as verify;
 pub use revel_workloads as workloads;

@@ -208,6 +208,13 @@ impl Bench {
         run_workload(self.workload().as_ref(), cfg)
     }
 
+    /// Builds the kernel for `cfg` and runs every static lint over it,
+    /// including post-schedule legality. Empty result = clean.
+    pub fn lint(&self, cfg: &BuildCfg) -> Vec<revel_verify::Diagnostic> {
+        let built = self.workload().build(cfg);
+        revel_verify::Verifier::new().verify(&built.program, &cfg.machine_config())
+    }
+
     /// Runs REVEL and both spatial baselines, returning all comparisons.
     ///
     /// # Errors

@@ -24,7 +24,7 @@ impl VecVal {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_VEC_WIDTH`].
     pub fn splat(x: f64, width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_VEC_WIDTH, "bad vector width {width}");
+        assert!((1..=MAX_VEC_WIDTH).contains(&width), "bad vector width {width}");
         let mut vals = [0.0; MAX_VEC_WIDTH];
         vals[..width].fill(x);
         VecVal { vals, pred: mask_all(width), width: width as u8 }
@@ -148,7 +148,7 @@ impl DfgEvaluator {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_VEC_WIDTH`].
     pub fn new(dfg: &Dfg, width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_VEC_WIDTH, "bad vector width {width}");
+        assert!((1..=MAX_VEC_WIDTH).contains(&width), "bad vector width {width}");
         let mut accum = Vec::new();
         let mut accum_index = vec![usize::MAX; dfg.len()];
         let mut input_nodes = Vec::new();
@@ -162,7 +162,14 @@ impl DfgEvaluator {
                 _ => {}
             }
         }
-        DfgEvaluator { dfg: dfg.clone(), width, accum, accum_index, accum_len_override: None, input_nodes }
+        DfgEvaluator {
+            dfg: dfg.clone(),
+            width,
+            accum,
+            accum_index,
+            accum_len_override: None,
+            input_nodes,
+        }
     }
 
     /// The vector width the evaluator runs at.
@@ -294,8 +301,7 @@ impl DfgEvaluator {
             pred &= values[a.0 as usize].pred;
         }
         for k in 0..self.width {
-            let scalar_args: Vec<f64> =
-                args.iter().map(|a| values[a.0 as usize].vals[k]).collect();
+            let scalar_args: Vec<f64> = args.iter().map(|a| values[a.0 as usize].vals[k]).collect();
             out.vals[k] = op.apply(&scalar_args);
         }
         out.pred = pred;

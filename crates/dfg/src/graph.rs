@@ -173,11 +173,7 @@ impl Dfg {
     /// the topological-by-construction invariant).
     pub fn op(&mut self, op: OpCode, args: &[NodeId]) -> NodeId {
         for a in args {
-            assert!(
-                (a.0 as usize) < self.nodes.len(),
-                "argument {} does not exist yet",
-                a.0
-            );
+            assert!((a.0 as usize) < self.nodes.len(), "argument {} does not exist yet", a.0);
         }
         self.push(Node::Op { op, args: args.to_vec() })
     }
@@ -257,9 +253,7 @@ impl Dfg {
     pub fn num_instructions(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| {
-                matches!(n, Node::Op { .. } | Node::Accum { .. } | Node::AccumVec { .. })
-            })
+            .filter(|n| matches!(n, Node::Op { .. } | Node::Accum { .. } | Node::AccumVec { .. }))
             .count()
     }
 
@@ -283,8 +277,7 @@ impl Dfg {
     pub fn critical_path_latency(&self) -> u32 {
         let mut arrival = vec![0u32; self.nodes.len()];
         for (i, n) in self.nodes.iter().enumerate() {
-            let input_ready =
-                n.args().iter().map(|a| arrival[a.0 as usize]).max().unwrap_or(0);
+            let input_ready = n.args().iter().map(|a| arrival[a.0 as usize]).max().unwrap_or(0);
             let lat = match n {
                 Node::Op { op, .. } => op.latency(),
                 Node::Accum { .. } | Node::AccumVec { .. } => OpCode::Add.latency(),
@@ -316,10 +309,8 @@ impl Dfg {
         let mut has_output = false;
         for (i, n) in self.nodes.iter().enumerate() {
             match n {
-                Node::Input { port, .. } => {
-                    if !in_ports.insert(*port) {
-                        return Err(DfgError::DuplicateInputPort { port: *port });
-                    }
+                Node::Input { port, .. } if !in_ports.insert(*port) => {
+                    return Err(DfgError::DuplicateInputPort { port: *port });
                 }
                 Node::Output { port, .. } => {
                     has_output = true;
@@ -327,14 +318,12 @@ impl Dfg {
                         return Err(DfgError::DuplicateOutputPort { port: *port });
                     }
                 }
-                Node::Op { op, args } => {
-                    if args.len() != op.arity() {
-                        return Err(DfgError::BadArity {
-                            node: NodeId(i as u32),
-                            expected: op.arity(),
-                            actual: args.len(),
-                        });
-                    }
+                Node::Op { op, args } if args.len() != op.arity() => {
+                    return Err(DfgError::BadArity {
+                        node: NodeId(i as u32),
+                        expected: op.arity(),
+                        actual: args.len(),
+                    });
                 }
                 _ => {}
             }

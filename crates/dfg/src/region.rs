@@ -52,7 +52,7 @@ impl Region {
     /// Panics if `unroll` is 0 or exceeds [`crate::MAX_VEC_WIDTH`].
     pub fn new(name: impl Into<String>, kind: RegionKind, dfg: Dfg, unroll: usize) -> Self {
         assert!(
-            unroll >= 1 && unroll <= crate::MAX_VEC_WIDTH,
+            (1..=crate::MAX_VEC_WIDTH).contains(&unroll),
             "unroll must be 1..={}, got {unroll}",
             crate::MAX_VEC_WIDTH
         );

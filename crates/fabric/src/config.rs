@@ -120,12 +120,8 @@ impl LaneConfig {
     /// Panics if `n` is 0 or leaves no adders.
     pub fn with_dataflow_pes(n: usize) -> Self {
         let base = Self::paper_default();
-        assert!(n >= 1 && n < 12, "dataflow PEs must be 1..12, got {n}");
-        LaneConfig {
-            fu_mix: FuMix { adders: 13 - n, ..base.fu_mix },
-            num_dataflow_pes: n,
-            ..base
-        }
+        assert!((1..12).contains(&n), "dataflow PEs must be 1..12, got {n}");
+        LaneConfig { fu_mix: FuMix { adders: 13 - n, ..base.fu_mix }, num_dataflow_pes: n, ..base }
     }
 
     /// Number of input ports.
@@ -242,7 +238,7 @@ mod tests {
         // bits (27 words); ours is 32 words across 12 software ports
         // (the kernel encodings of Fig. 15/17 use up to 9-11 port ids).
         let words: usize = lane.in_port_widths.iter().sum();
-        assert!(words >= 27 && words <= 34, "aggregate {words} words");
+        assert!((27..=34).contains(&words), "aggregate {words} words");
     }
 
     #[test]

@@ -267,9 +267,8 @@ impl CostModel {
         let base_lane = self.breakdown.lane_mm2;
         let delta_per_dpe = (DPE_AREA_UM2 - SPE_AREA_UM2) / 1.0e6;
         let lane = base_lane + delta_per_dpe * (dpes_per_lane as f64 - 1.0);
-        let shared = self.breakdown.revel_mm2
-            - self.breakdown.lane_mm2 * 8.0
-            - self.breakdown.core_mm2;
+        let shared =
+            self.breakdown.revel_mm2 - self.breakdown.lane_mm2 * 8.0 - self.breakdown.core_mm2;
         lane * num_lanes as f64 + self.breakdown.core_mm2 + shared
     }
 
@@ -295,7 +294,8 @@ mod tests {
 
     #[test]
     fn dpe_is_much_larger_than_spe() {
-        assert!(DPE_AREA_UM2 / SPE_AREA_UM2 > 5.0);
+        let ratio = DPE_AREA_UM2 / SPE_AREA_UM2;
+        assert!(ratio > 5.0, "dPE/sPE area ratio {ratio}");
     }
 
     #[test]
@@ -321,7 +321,6 @@ mod tests {
             shared_spad_words: 0,
             bus_words: 4_000,
             commands: 30,
-            ..Default::default()
         };
         let p = EnergyModel::paper_28nm().power_mw(&ev, 1000, 1.25, 1);
         assert!(

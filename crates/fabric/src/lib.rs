@@ -28,5 +28,7 @@ mod cost;
 mod mesh;
 
 pub use config::{FuMix, LaneConfig, RevelConfig};
-pub use cost::{AreaBreakdown, CostModel, EnergyModel, EventCounts, RelativePeArea, DPE_AREA_UM2, SPE_AREA_UM2};
+pub use cost::{
+    AreaBreakdown, CostModel, EnergyModel, EventCounts, RelativePeArea, DPE_AREA_UM2, SPE_AREA_UM2,
+};
 pub use mesh::{Mesh, MeshCoord, MeshLink, PeKind, PeSlot};

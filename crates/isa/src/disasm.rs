@@ -164,10 +164,7 @@ mod tests {
         assert!(s.contains("rows=4-1j"), "{s}");
 
         assert_eq!(StreamCommand::Wait.to_string(), "Wait");
-        assert_eq!(
-            StreamCommand::Configure { config: ConfigId(2) }.to_string(),
-            "Config #2"
-        );
+        assert_eq!(StreamCommand::Configure { config: ConfigId(2) }.to_string(), "Config #2");
     }
 
     #[test]

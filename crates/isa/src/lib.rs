@@ -45,6 +45,7 @@ mod error;
 mod lane;
 mod pattern;
 mod rate;
+mod rng;
 
 pub use command::{
     ConfigId, ConstPattern, LaneHop, MemTarget, ProdMode, StreamCommand, VectorCommand, XferRoute,
@@ -55,6 +56,7 @@ pub use error::IsaError;
 pub use lane::{LaneId, LaneMask, LaneScale};
 pub use pattern::{AffinePattern, PatternElem, PatternIter};
 pub use rate::RateFsm;
+pub use rng::Rng;
 
 /// A 64-bit scratchpad word. Floating-point payloads are stored as the raw
 /// bit pattern of an `f64` (see [`word_from_f64`] / [`f64_from_word`]).

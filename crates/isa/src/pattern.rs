@@ -128,6 +128,27 @@ impl AffinePattern {
         PatternIter { pat: *self, j: 0, i: 0 }
     }
 
+    /// The inclusive range `(lowest, highest)` of word addresses the stream
+    /// touches, or `None` for an empty stream. Costs O(`len_j`): the extreme
+    /// addresses of each row occur at its two ends.
+    pub fn addr_range(&self) -> Option<(i64, i64)> {
+        let mut range: Option<(i64, i64)> = None;
+        for j in 0..self.len_j.max(0) {
+            let n = self.row_len(j);
+            if n == 0 {
+                continue;
+            }
+            let first = self.start + j * self.stride_j;
+            let last = first + (n - 1) * self.stride_i;
+            let (lo, hi) = (first.min(last), first.max(last));
+            range = Some(match range {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+        range
+    }
+
     /// Validates the pattern: lengths must be non-negative and every touched
     /// address must be non-negative.
     ///
@@ -178,7 +199,9 @@ impl Iterator for PatternIter {
             let n = self.pat.row_len(self.j);
             if self.i < n {
                 let elem = PatternElem {
-                    offset: self.pat.start + self.j * self.pat.stride_j + self.i * self.pat.stride_i,
+                    offset: self.pat.start
+                        + self.j * self.pat.stride_j
+                        + self.i * self.pat.stride_i,
                     j: self.j,
                     i: self.i,
                     last_in_row: self.i == n - 1,
@@ -286,5 +309,15 @@ mod tests {
     fn empty_pattern() {
         assert!(AffinePattern::linear(0, 0).is_empty());
         assert!(AffinePattern::linear(0, 0).iter().next().is_none());
+    }
+
+    #[test]
+    fn addr_range_covers_extremes() {
+        assert_eq!(AffinePattern::linear(10, 4).addr_range(), Some((10, 13)));
+        assert_eq!(AffinePattern::strided(9, -3, 4).addr_range(), Some((0, 9)));
+        // Triangular a[j, j..4] over a 4x5 row-major layout.
+        let tri = AffinePattern::two_d(0, 1, 5, 4, 4, -1);
+        assert_eq!(tri.addr_range(), Some((0, 15)));
+        assert_eq!(AffinePattern::linear(0, 0).addr_range(), None);
     }
 }

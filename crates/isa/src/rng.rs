@@ -1,0 +1,131 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace is built and tested in environments with no access to a
+//! crates registry, so it cannot depend on the `rand` crate. The two
+//! consumers of randomness — simulated-annealing placement in
+//! `revel-scheduler` and synthetic-data generation in `revel-workloads` —
+//! only need a seedable, reproducible, statistically-reasonable generator,
+//! which this SplitMix64 implementation provides (Steele, Lea & Flood,
+//! "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). It is
+//! **not** cryptographically secure.
+
+/// A seedable SplitMix64 generator.
+///
+/// The same seed always yields the same sequence, across platforms and
+/// releases: annealing results and synthetic datasets are reproducible.
+///
+/// ```
+/// use revel_isa::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of entropy).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` (caller bug: an empty range has no samples).
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 (caller bug: an empty range has no samples).
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range 0..0");
+        // Multiply-shift range reduction; the modulo bias of a 64-bit
+        // product over practical `n` is far below what placement or data
+        // synthesis could observe.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` (caller bug: an empty range has no samples).
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_index((hi - lo) as usize) as i64
+    }
+
+    /// A uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        let mut c = Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = Rng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let i = r.gen_index(5);
+            assert!(i < 5);
+            seen[i] = true;
+            let x = r.gen_range_f64(-0.4, 0.4);
+            assert!((-0.4..0.4).contains(&x));
+            let k = r.gen_range_i64(-3, 3);
+            assert!((-3..3).contains(&k));
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit");
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = Rng::seed_from_u64(3);
+        let mean: f64 = (0..4096).map(|_| r.gen_f64()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

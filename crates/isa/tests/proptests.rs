@@ -1,169 +1,214 @@
-//! Property-based tests for the vector-stream ISA: pattern algebra and
+//! Property-style tests for the vector-stream ISA: pattern algebra and
 //! encode/decode round-trips.
+//!
+//! These are randomized-but-deterministic: each test draws a few hundred
+//! cases from the seeded [`Rng`] (the workspace builds with no external
+//! crates, so `proptest` is off the table). Failures print the case index;
+//! reproduce by rerunning with the same seed.
 
-use proptest::prelude::*;
 use revel_isa::{
     decode_program, encode_program, AffinePattern, ConstPattern, InPortId, LaneHop, LaneMask,
-    LaneScale, MemTarget, OutPortId, ProdMode, RateFsm, StreamCommand, VectorCommand, XferRoute,
+    LaneScale, MemTarget, OutPortId, ProdMode, RateFsm, Rng, StreamCommand, VectorCommand,
+    XferRoute,
 };
 
-fn arb_rate() -> impl Strategy<Value = RateFsm> {
-    (1i64..64, -4i64..4).prop_map(|(base, stretch)| RateFsm::inductive(base, stretch))
+const CASES: usize = 256;
+
+fn arb_rate(r: &mut Rng) -> RateFsm {
+    RateFsm::inductive(r.gen_range_i64(1, 64), r.gen_range_i64(-4, 4))
 }
 
-fn arb_pattern() -> impl Strategy<Value = AffinePattern> {
-    (0i64..1024, 1i64..8, 0i64..64, 0i64..48, 1i64..48, -2i64..2).prop_map(
-        |(start, si, sj, ni, nj, s)| AffinePattern::two_d(start, si, sj, ni, nj, s),
+fn arb_pattern(r: &mut Rng) -> AffinePattern {
+    AffinePattern::two_d(
+        r.gen_range_i64(0, 1024),
+        r.gen_range_i64(1, 8),
+        r.gen_range_i64(0, 64),
+        r.gen_range_i64(0, 48),
+        r.gen_range_i64(1, 48),
+        r.gen_range_i64(-2, 2),
     )
 }
 
-fn arb_command() -> impl Strategy<Value = StreamCommand> {
-    prop_oneof![
-        (arb_pattern(), 0u8..6, arb_rate(), any::<bool>()).prop_map(|(p, d, r, shared)| {
-            let t = if shared { MemTarget::Shared } else { MemTarget::Private };
-            StreamCommand::load(t, p, InPortId(d), r)
-        }),
-        (arb_pattern(), 0u8..6, arb_rate()).prop_map(|(p, s, r)| StreamCommand::store(
-            OutPortId(s),
-            MemTarget::Private,
-            p,
-            r
-        )),
-        (any::<u64>(), arb_rate(), any::<u64>(), arb_rate(), 1i64..32).prop_map(
-            |(v1, n1, v2, n2, outer)| StreamCommand::konst(
-                InPortId(0),
-                ConstPattern::two_phase(v1, n1, v2, n2, outer)
-            )
-        ),
-        (
-            0u8..6,
-            0u8..6,
-            0i64..128,
-            arb_rate(),
-            arb_rate(),
-            any::<bool>(),
-            any::<bool>(),
-            proptest::option::of(arb_rate()),
-        )
-            .prop_map(|(s, d, n, p, c, right, drop, rows)| StreamCommand::Xfer {
-                route: XferRoute {
-                    src: OutPortId(s),
-                    dst: InPortId(d),
-                    hop: if right { LaneHop::Right } else { LaneHop::Local },
-                },
-                outer: n,
-                production: p,
-                prod_mode: if drop { ProdMode::DropFirst } else { ProdMode::KeepFirst },
-                consumption: c,
-                rows,
-            }),
-        (0u32..8, arb_rate())
-            .prop_map(|(r, len)| StreamCommand::SetAccumLen { region: r, len }),
-        Just(StreamCommand::BarrierScratch),
-        Just(StreamCommand::Wait),
-    ]
+fn arb_command(r: &mut Rng) -> StreamCommand {
+    match r.gen_index(7) {
+        0 => {
+            let t = if r.gen_bool() { MemTarget::Shared } else { MemTarget::Private };
+            let (p, d, rate) = (arb_pattern(r), r.gen_range_i64(0, 6) as u8, arb_rate(r));
+            StreamCommand::load(t, p, InPortId(d), rate)
+        }
+        1 => {
+            let (p, s, rate) = (arb_pattern(r), r.gen_range_i64(0, 6) as u8, arb_rate(r));
+            StreamCommand::store(OutPortId(s), MemTarget::Private, p, rate)
+        }
+        2 => {
+            let (v1, n1) = (r.next_u64(), arb_rate(r));
+            let (v2, n2) = (r.next_u64(), arb_rate(r));
+            let outer = r.gen_range_i64(1, 32);
+            StreamCommand::konst(InPortId(0), ConstPattern::two_phase(v1, n1, v2, n2, outer))
+        }
+        3 => StreamCommand::Xfer {
+            route: XferRoute {
+                src: OutPortId(r.gen_range_i64(0, 6) as u8),
+                dst: InPortId(r.gen_range_i64(0, 6) as u8),
+                hop: if r.gen_bool() { LaneHop::Right } else { LaneHop::Local },
+            },
+            outer: r.gen_range_i64(0, 128),
+            production: arb_rate(r),
+            prod_mode: if r.gen_bool() { ProdMode::DropFirst } else { ProdMode::KeepFirst },
+            consumption: arb_rate(r),
+            rows: if r.gen_bool() { Some(arb_rate(r)) } else { None },
+        },
+        4 => StreamCommand::SetAccumLen { region: r.gen_range_i64(0, 8) as u32, len: arb_rate(r) },
+        5 => StreamCommand::BarrierScratch,
+        _ => StreamCommand::Wait,
+    }
 }
 
-proptest! {
-    /// The iterator must visit exactly `total_elems()` elements.
-    #[test]
-    fn pattern_count_matches_iterator(p in arb_pattern()) {
-        prop_assert_eq!(p.iter().count() as i64, p.total_elems());
+/// The iterator must visit exactly `total_elems()` elements.
+#[test]
+fn pattern_count_matches_iterator() {
+    let mut r = Rng::seed_from_u64(0x15A_0001);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
+        assert_eq!(p.iter().count() as i64, p.total_elems(), "case {case}: {p:?}");
     }
+}
 
-    /// Element coordinates are consistent with the affine formula.
-    #[test]
-    fn pattern_elements_are_affine(p in arb_pattern()) {
+/// Element coordinates are consistent with the affine formula.
+#[test]
+fn pattern_elements_are_affine() {
+    let mut r = Rng::seed_from_u64(0x15A_0002);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
         for e in p.iter() {
-            prop_assert_eq!(e.offset, p.start + e.j * p.stride_j + e.i * p.stride_i);
-            prop_assert!(e.i < p.row_len(e.j));
+            assert_eq!(e.offset, p.start + e.j * p.stride_j + e.i * p.stride_i, "case {case}");
+            assert!(e.i < p.row_len(e.j), "case {case}");
         }
     }
+}
 
-    /// `last_in_row` is set exactly once per non-empty row.
-    #[test]
-    fn pattern_row_boundaries(p in arb_pattern()) {
+/// `last_in_row` is set exactly once per non-empty row.
+#[test]
+fn pattern_row_boundaries() {
+    let mut r = Rng::seed_from_u64(0x15A_0003);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
         let rows_with_elems = (0..p.len_j).filter(|&j| p.row_len(j) > 0).count();
         let lasts = p.iter().filter(|e| e.last_in_row).count();
-        prop_assert_eq!(lasts, rows_with_elems);
+        assert_eq!(lasts, rows_with_elems, "case {case}: {p:?}");
     }
+}
 
-    /// Outer indices are non-decreasing along the stream.
-    #[test]
-    fn pattern_outer_monotone(p in arb_pattern()) {
+/// Outer indices are non-decreasing along the stream.
+#[test]
+fn pattern_outer_monotone() {
+    let mut r = Rng::seed_from_u64(0x15A_0004);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
         let js: Vec<i64> = p.iter().map(|e| e.j).collect();
-        prop_assert!(js.windows(2).all(|w| w[0] <= w[1]));
+        assert!(js.windows(2).all(|w| w[0] <= w[1]), "case {case}: {p:?}");
     }
+}
 
-    /// Per-lane offsetting commutes with iteration.
-    #[test]
-    fn pattern_offset_commutes(p in arb_pattern(), delta in 0i64..512) {
+/// Per-lane offsetting commutes with iteration.
+#[test]
+fn pattern_offset_commutes() {
+    let mut r = Rng::seed_from_u64(0x15A_0005);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
+        let delta = r.gen_range_i64(0, 512);
         let shifted: Vec<i64> = p.offset_by(delta).iter().map(|e| e.offset).collect();
         let base: Vec<i64> = p.iter().map(|e| e.offset + delta).collect();
-        prop_assert_eq!(shifted, base);
+        assert_eq!(shifted, base, "case {case}");
     }
+}
 
-    /// RateFsm totals equal the sum of per-iteration counts and are at least
-    /// `outer` (each iteration contributes >= 1).
-    #[test]
-    fn rate_total_bounds(r in arb_rate(), outer in 0i64..64) {
-        let total = r.total(outer);
-        prop_assert!(total >= outer);
-        prop_assert_eq!(total, (0..outer).map(|j| r.count_at(j)).sum::<i64>());
+/// RateFsm totals equal the sum of per-iteration counts and are at least
+/// `outer` (each iteration contributes >= 1).
+#[test]
+fn rate_total_bounds() {
+    let mut r = Rng::seed_from_u64(0x15A_0006);
+    for case in 0..CASES {
+        let rate = arb_rate(&mut r);
+        let outer = r.gen_range_i64(0, 64);
+        let total = rate.total(outer);
+        assert!(total >= outer, "case {case}");
+        assert_eq!(total, (0..outer).map(|j| rate.count_at(j)).sum::<i64>(), "case {case}");
     }
+}
 
-    /// Const pattern expansion length matches `total_elems`.
-    #[test]
-    fn const_expansion_len(v1 in any::<u64>(), n1 in arb_rate(), outer in 0i64..32) {
-        let p = ConstPattern { val1: v1, n1, val2: None, outer };
-        prop_assert_eq!(p.expand().len() as i64, p.total_elems());
+/// Const pattern expansion length matches `total_elems`.
+#[test]
+fn const_expansion_len() {
+    let mut r = Rng::seed_from_u64(0x15A_0007);
+    for case in 0..CASES {
+        let p = ConstPattern {
+            val1: r.next_u64(),
+            n1: arb_rate(&mut r),
+            val2: None,
+            outer: r.gen_range_i64(0, 32),
+        };
+        assert_eq!(p.expand().len() as i64, p.total_elems(), "case {case}");
     }
+}
 
-    /// Encoding then decoding a program yields the identical program.
-    #[test]
-    fn encode_decode_roundtrip(cmds in proptest::collection::vec(arb_command(), 0..24),
-                               mask_bits in 1u32..256,
-                               addr_scale in 0i64..64) {
-        let program: Vec<VectorCommand> = cmds
-            .into_iter()
-            .map(|c| VectorCommand::scaled(
-                LaneMask::from_bits(mask_bits),
-                LaneScale::addr(addr_scale),
-                c,
-            ))
+/// Encoding then decoding a program yields the identical program.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut r = Rng::seed_from_u64(0x15A_0008);
+    for case in 0..64 {
+        let n = r.gen_index(24);
+        let mask_bits = 1 + r.gen_range_i64(0, 255) as u32;
+        let addr_scale = r.gen_range_i64(0, 64);
+        let program: Vec<VectorCommand> = (0..n)
+            .map(|_| {
+                VectorCommand::scaled(
+                    LaneMask::from_bits(mask_bits),
+                    LaneScale::addr(addr_scale),
+                    arb_command(&mut r),
+                )
+            })
             .collect();
         let decoded = decode_program(&encode_program(&program)).unwrap();
         // Scale is only encoded for memory commands; compare command+lanes
         // always, and scale where it survives.
-        prop_assert_eq!(decoded.len(), program.len());
+        assert_eq!(decoded.len(), program.len(), "case {case}");
         for (d, p) in decoded.iter().zip(&program) {
-            prop_assert_eq!(&d.cmd, &p.cmd);
-            prop_assert_eq!(d.lanes, p.lanes);
+            assert_eq!(&d.cmd, &p.cmd, "case {case}");
+            assert_eq!(d.lanes, p.lanes, "case {case}");
             if matches!(p.cmd, StreamCommand::Load { .. } | StreamCommand::Store { .. }) {
-                prop_assert_eq!(d.scale, p.scale);
+                assert_eq!(d.scale, p.scale, "case {case}");
             }
         }
     }
+}
 
-    /// Disassembly never panics and is non-empty for any command.
-    #[test]
-    fn disassembly_total(cmds in proptest::collection::vec(arb_command(), 1..16)) {
-        let program: Vec<VectorCommand> = cmds
-            .into_iter()
-            .map(|c| VectorCommand::broadcast(LaneMask::all(8), c))
+/// Disassembly never panics and is one line per command.
+#[test]
+fn disassembly_total() {
+    let mut r = Rng::seed_from_u64(0x15A_0009);
+    for case in 0..64 {
+        let n = 1 + r.gen_index(15);
+        let program: Vec<VectorCommand> = (0..n)
+            .map(|_| VectorCommand::broadcast(LaneMask::all(8), arb_command(&mut r)))
             .collect();
         let text = revel_isa::disassemble(&program);
-        prop_assert_eq!(text.lines().count(), program.len());
+        assert_eq!(text.lines().count(), program.len(), "case {case}");
     }
+}
 
-    /// Validation accepts all generator-produced patterns (they are
-    /// constructed to be legal) and specialized lane commands stay valid.
-    #[test]
-    fn specialized_commands_stay_valid(p in arb_pattern(), lane_scale in 0i64..64) {
+/// Validation accepts all generator-produced patterns (they are
+/// constructed to be legal) and specialized lane commands stay valid.
+#[test]
+fn specialized_commands_stay_valid() {
+    let mut r = Rng::seed_from_u64(0x15A_000A);
+    for case in 0..CASES {
+        let p = arb_pattern(&mut r);
+        let lane_scale = r.gen_range_i64(0, 64);
         let cmd = StreamCommand::load(MemTarget::Private, p, InPortId(0), RateFsm::ONCE);
         let v = VectorCommand::scaled(LaneMask::all(8), LaneScale::addr(lane_scale), cmd);
         for lane in v.lanes.iter() {
-            prop_assert!(v.specialize(lane).validate().is_ok());
+            assert!(v.specialize(lane).validate().is_ok(), "case {case}");
         }
     }
 }

@@ -133,10 +133,7 @@ mod tests {
         // Fig. 1: DSP runs the factorizations at ~3-15% of the ideal ASIC.
         for n in [16, 24, 32] {
             let ratio = cholesky_cycles(n) as f64 / asic::cholesky_cycles(n) as f64;
-            assert!(
-                (4.0..60.0).contains(&ratio),
-                "cholesky n={n}: DSP/ASIC = {ratio:.1}"
-            );
+            assert!((4.0..60.0).contains(&ratio), "cholesky n={n}: DSP/ASIC = {ratio:.1}");
             let ratio = solver_cycles(n) as f64 / asic::solver_cycles(n) as f64;
             assert!((1.5..40.0).contains(&ratio), "solver n={n}: {ratio:.1}");
         }

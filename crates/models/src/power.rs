@@ -25,12 +25,7 @@ pub fn asic_power_mw(ev: &EventCounts, cycles: u64, clock_ghz: f64, lanes: usize
 }
 
 /// Power (mW) of REVEL for the same run: full event set plus static power.
-pub fn revel_power_mw(
-    ev: &EventCounts,
-    cycles: u64,
-    clock_ghz: f64,
-    active_lanes: usize,
-) -> f64 {
+pub fn revel_power_mw(ev: &EventCounts, cycles: u64, clock_ghz: f64, active_lanes: usize) -> f64 {
     EnergyModel::paper_28nm().power_mw(ev, cycles, clock_ghz, active_lanes)
 }
 

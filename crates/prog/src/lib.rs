@@ -1,6 +1,23 @@
+//! # revel-prog — the REVEL program representation
+//!
+//! A [`RevelProgram`] is the artifact the compiler emits and the simulator
+//! executes ("REVEL Binaries: Dataflow Config + Vector-Stream Code",
+//! Fig. 17 of *"A Hybrid Systolic-Dataflow Architecture for Inductive
+//! Matrix Algorithms"*, HPCA 2020): a set of fabric configurations (region
+//! graphs, one set per `ConfigId`) plus the vector-stream control program.
+//!
+//! The representation lives in its own crate — below both `revel-sim` and
+//! `revel-verify` in the dependency graph — so that the static verifier can
+//! analyze programs and the simulator can gate on the verifier without a
+//! dependency cycle. `revel-sim` re-exports every type here, so existing
+//! `revel_sim::RevelProgram` users are unaffected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use revel_dfg::Region;
-use revel_fabric::LaneConfig;
-use revel_isa::{StreamCommand, VectorCommand};
+use revel_fabric::{LaneConfig, RevelConfig};
+use revel_isa::{MemTarget, StreamCommand, VectorCommand};
 use std::fmt;
 use std::rc::Rc;
 
@@ -27,8 +44,11 @@ pub struct HostOp {
     /// Control-core cycles consumed.
     pub cycles: u64,
     /// The computation, applied to scratchpad memory.
-    pub func: Rc<dyn Fn(&mut dyn HostMem)>,
+    pub func: HostFn,
 }
+
+/// The callable body of a [`HostOp`].
+pub type HostFn = Rc<dyn Fn(&mut dyn HostMem)>;
 
 impl fmt::Debug for HostOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -48,10 +68,9 @@ pub enum ControlStep {
 /// A complete REVEL binary: fabric configurations (one per `ConfigId`) plus
 /// the vector-stream control program.
 ///
-/// This is the artifact the compiler emits ("REVEL Binaries: Dataflow
-/// Config + Vector-Stream Code", Fig. 17). All lanes share the same fabric
-/// configuration (they are homogeneous); per-lane behaviour comes from the
-/// lane masks and lane scaling of the commands.
+/// All lanes share the same fabric configuration (they are homogeneous);
+/// per-lane behaviour comes from the lane masks and lane scaling of the
+/// commands.
 #[derive(Debug, Clone)]
 pub struct RevelProgram {
     /// Diagnostic name (usually the kernel name).
@@ -98,6 +117,17 @@ pub enum ProgramError {
         /// The missing config id.
         config: u32,
     },
+    /// A memory stream walks outside its scratchpad.
+    AddressOutOfBounds {
+        /// Lane whose (specialized) command is out of bounds.
+        lane: u8,
+        /// Which scratchpad.
+        target: MemTarget,
+        /// The offending word address.
+        addr: i64,
+        /// Scratchpad capacity in words.
+        limit: usize,
+    },
     /// An embedded ISA value failed validation.
     Isa(revel_isa::IsaError),
     /// A region's DFG failed validation.
@@ -121,6 +151,17 @@ impl fmt::Display for ProgramError {
                 write!(f, "config {config}: input port {port} bound by two regions")
             }
             ProgramError::UnknownConfig { config } => write!(f, "unknown config id {config}"),
+            ProgramError::AddressOutOfBounds { lane, target, addr, limit } => {
+                let which = match target {
+                    MemTarget::Private => "private",
+                    MemTarget::Shared => "shared",
+                };
+                write!(
+                    f,
+                    "lane {lane}: {which} scratchpad address {addr} out of bounds \
+                     ({limit} words)"
+                )
+            }
             ProgramError::Isa(e) => write!(f, "isa error: {e}"),
             ProgramError::Dfg(name, e) => write!(f, "region '{name}': {e}"),
         }
@@ -172,10 +213,7 @@ impl RevelProgram {
         for (ci, regions) in self.configs.iter().enumerate() {
             let mut bound_in = std::collections::BTreeSet::new();
             for region in regions {
-                region
-                    .dfg
-                    .validate()
-                    .map_err(|e| ProgramError::Dfg(region.name.clone(), e))?;
+                region.dfg.validate().map_err(|e| ProgramError::Dfg(region.name.clone(), e))?;
                 for (p, scalar) in region.input_bindings() {
                     if p.0 >= in_limit {
                         return Err(ProgramError::PortOutOfRange { port: p.0, limit: in_limit });
@@ -203,7 +241,9 @@ impl RevelProgram {
             }
         }
         for step in &self.control {
-            let ControlStep::Command(vc) = step else { continue };
+            let ControlStep::Command(vc) = step else {
+                continue;
+            };
             vc.validate()?;
             if let Some(p) = vc.cmd.dst_in_port() {
                 if p.0 >= in_limit {
@@ -223,15 +263,52 @@ impl RevelProgram {
         }
         Ok(())
     }
+
+    /// Validates every (per-lane-specialized) memory stream against the
+    /// scratchpad sizes: a stream that walks off its scratchpad is a typed
+    /// error here instead of a panic inside the simulator's stream engine.
+    ///
+    /// # Errors
+    /// [`ProgramError::AddressOutOfBounds`] on the first offending stream.
+    pub fn validate_memory(&self, cfg: &RevelConfig) -> Result<(), ProgramError> {
+        for step in &self.control {
+            let ControlStep::Command(vc) = step else {
+                continue;
+            };
+            for lane in vc.lanes.iter() {
+                if lane.0 as usize >= cfg.num_lanes {
+                    continue; // command targets a lane the machine lacks
+                }
+                let (target, pattern) = match &vc.specialize(lane) {
+                    StreamCommand::Load { target, pattern, .. }
+                    | StreamCommand::Store { target, pattern, .. } => (*target, *pattern),
+                    _ => continue,
+                };
+                let limit = match target {
+                    MemTarget::Private => cfg.lane.spad_words,
+                    MemTarget::Shared => cfg.shared_spad_words,
+                };
+                if let Some((lo, hi)) = pattern.addr_range() {
+                    if lo < 0 || hi >= limit as i64 {
+                        return Err(ProgramError::AddressOutOfBounds {
+                            lane: lane.0,
+                            target,
+                            addr: if lo < 0 { lo } else { hi },
+                            limit,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use revel_dfg::{Dfg, OpCode};
-    use revel_isa::{
-        AffinePattern, ConfigId, InPortId, LaneMask, MemTarget, OutPortId, RateFsm,
-    };
+    use revel_isa::{AffinePattern, ConfigId, InPortId, LaneMask, MemTarget, OutPortId, RateFsm};
 
     fn simple_region(unroll: usize) -> Region {
         let mut g = Dfg::new("r");
@@ -339,9 +416,44 @@ mod tests {
     fn port_conflict_between_regions_rejected() {
         let mut p = RevelProgram::new("t");
         p.add_config(vec![simple_region(8), simple_region(8)]);
-        assert!(matches!(
-            p.validate(&lane()),
-            Err(ProgramError::PortConflict { port: 0, .. })
+        assert!(matches!(p.validate(&lane()), Err(ProgramError::PortConflict { port: 0, .. })));
+    }
+
+    #[test]
+    fn oob_load_detected() {
+        let cfg = RevelConfig::single_lane();
+        let mut p = RevelProgram::new("t");
+        p.add_config(vec![simple_region(8)]);
+        p.push(VectorCommand::broadcast(
+            LaneMask::all(1),
+            StreamCommand::load(
+                MemTarget::Private,
+                AffinePattern::linear(cfg.lane.spad_words as i64 - 4, 8),
+                InPortId(0),
+                RateFsm::ONCE,
+            ),
         ));
+        assert!(p.validate(&cfg.lane).is_ok(), "ports are fine");
+        assert!(matches!(
+            p.validate_memory(&cfg),
+            Err(ProgramError::AddressOutOfBounds { target: MemTarget::Private, .. })
+        ));
+    }
+
+    #[test]
+    fn in_bounds_memory_passes() {
+        let cfg = RevelConfig::single_lane();
+        let mut p = RevelProgram::new("t");
+        p.add_config(vec![simple_region(8)]);
+        p.push(VectorCommand::broadcast(
+            LaneMask::all(1),
+            StreamCommand::store(
+                OutPortId(0),
+                MemTarget::Shared,
+                AffinePattern::linear(0, cfg.shared_spad_words as i64),
+                RateFsm::ONCE,
+            ),
+        ));
+        assert!(p.validate_memory(&cfg).is_ok());
     }
 }

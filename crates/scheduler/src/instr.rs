@@ -144,8 +144,12 @@ fn edge_from(
     to: InstrKey,
     temporal: bool,
 ) -> Option<Edge> {
-    producer_endpoint(region, r, replica, arg)
-        .map(|from| Edge { from, to: Endpoint::Instr(to), region: r, temporal })
+    producer_endpoint(region, r, replica, arg).map(|from| Edge {
+        from,
+        to: Endpoint::Instr(to),
+        region: r,
+        temporal,
+    })
 }
 
 /// Constants are baked into the consumer PE's configuration register, so

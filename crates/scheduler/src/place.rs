@@ -2,9 +2,8 @@
 
 use crate::instr::{Endpoint, Expansion, InstrKey};
 use crate::schedule::ScheduleError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use revel_fabric::{Mesh, MeshCoord, PeKind};
+use revel_isa::Rng;
 use std::collections::HashMap;
 
 /// The result of placement: every instruction has a tile.
@@ -44,10 +43,8 @@ pub fn edge_coords(
         (_, Endpoint::Instr(k)) => k.replica,
         _ => 0,
     };
-    let spread = |c: MeshCoord| MeshCoord {
-        x: ((c.x as usize + replica) % mesh.width()) as u8,
-        y: c.y,
-    };
+    let spread =
+        |c: MeshCoord| MeshCoord { x: ((c.x as usize + replica) % mesh.width()) as u8, y: c.y };
     let from = match edge.from {
         Endpoint::Instr(k) => placement.instr_pos[&k],
         Endpoint::InPort(p) => spread(in_port_coord(mesh, p.0)),
@@ -82,10 +79,7 @@ pub fn place(
         }
         let capacity = dpe_tiles.len() * dpe_slots;
         if temporal.len() > capacity {
-            return Err(ScheduleError::TemporalOverflow {
-                needed: temporal.len(),
-                capacity,
-            });
+            return Err(ScheduleError::TemporalOverflow { needed: temporal.len(), capacity });
         }
         for (i, instr) in temporal.iter().enumerate() {
             let tile = dpe_tiles[i % dpe_tiles.len()];
@@ -126,7 +120,7 @@ pub fn place(
     }
 
     // --- simulated annealing over systolic placements ---
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Reverse index: tile -> instr (systolic only).
     let mut occupant: HashMap<MeshCoord, InstrKey> = HashMap::new();
     for instr in &systolic {
@@ -145,14 +139,18 @@ pub fn place(
             .sum()
     };
     let mut cur_cost = cost(&placement);
+    // Track the best placement seen: the walk may wander uphill near the
+    // end of the schedule, and the final state is not necessarily the best.
+    let mut best_cost = cur_cost;
+    let mut best_pos = placement.instr_pos.clone();
     let mut temp = (cur_cost as f64 / exp.edges.len().max(1) as f64).max(2.0);
     let keys: Vec<InstrKey> = systolic.iter().map(|i| i.key).collect();
     for step in 0..iterations {
         // Pick an instruction and a random tile of the same class.
-        let k = keys[rng.gen_range(0..keys.len())];
+        let k = keys[rng.gen_index(keys.len())];
         let class = instr_class[&k];
         let tiles = &free[&class];
-        let target = tiles[rng.gen_range(0..tiles.len())];
+        let target = tiles[rng.gen_index(tiles.len())];
         let source = placement.instr_pos[&k];
         if target == source {
             continue;
@@ -165,7 +163,7 @@ pub fn place(
         }
         let new_cost = cost(&placement);
         let delta = new_cost - cur_cost;
-        let accept = delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temp).exp();
+        let accept = delta <= 0 || rng.gen_f64() < (-(delta as f64) / temp).exp();
         if accept {
             cur_cost = new_cost;
             occupant.insert(target, k);
@@ -176,6 +174,10 @@ pub fn place(
                 None => {
                     occupant.remove(&source);
                 }
+            }
+            if cur_cost < best_cost {
+                best_cost = cur_cost;
+                best_pos = placement.instr_pos.clone();
             }
         } else {
             // Revert.
@@ -188,6 +190,7 @@ pub fn place(
             temp *= 0.92;
         }
     }
+    placement.instr_pos = best_pos;
     Ok(placement)
 }
 

@@ -88,7 +88,10 @@ fn shortest_path(
             }
         }
     }
-    // Reconstruct.
+    // Reconstruct. The mesh grid is connected, so Dijkstra always
+    // reaches `to` and every step back to `from` has a `prev` entry;
+    // a missing key would mean a malformed mesh, which `Mesh::new`
+    // makes unconstructible.
     let mut path = Vec::new();
     let mut cur = to;
     while cur != from {
@@ -104,12 +107,7 @@ fn shortest_path(
 ///
 /// `max_iterations` bounds the negotiation rounds; residual link sharing is
 /// reported in [`RouteStats::max_link_sharing`].
-pub fn route(
-    mesh: &Mesh,
-    exp: &Expansion,
-    placement: &Placement,
-    max_iterations: u32,
-) -> Routing {
+pub fn route(mesh: &Mesh, exp: &Expansion, placement: &Placement, max_iterations: u32) -> Routing {
     let mut history: HashMap<MeshLink, f64> = HashMap::new();
     let mut paths: Vec<Vec<MeshLink>> = vec![Vec::new(); exp.edges.len()];
     let mut stats = RouteStats::default();

@@ -36,18 +36,15 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::NotEnoughPes { class, needed, available } => write!(
-                f,
-                "not enough {class} PEs: need {needed}, have {available}"
-            ),
-            ScheduleError::TemporalOverflow { needed, capacity } => write!(
-                f,
-                "temporal instructions ({needed}) exceed dataflow slots ({capacity})"
-            ),
-            ScheduleError::NoDataflowPes { needed } => write!(
-                f,
-                "{needed} temporal instructions but fabric has no dataflow PEs"
-            ),
+            ScheduleError::NotEnoughPes { class, needed, available } => {
+                write!(f, "not enough {class} PEs: need {needed}, have {available}")
+            }
+            ScheduleError::TemporalOverflow { needed, capacity } => {
+                write!(f, "temporal instructions ({needed}) exceed dataflow slots ({capacity})")
+            }
+            ScheduleError::NoDataflowPes { needed } => {
+                write!(f, "{needed} temporal instructions but fabric has no dataflow PEs")
+            }
         }
     }
 }
@@ -183,27 +180,23 @@ impl SpatialScheduler {
                 Endpoint::InPort(_) => {}
             }
         }
-        let instr_latency: HashMap<InstrKey, u32> = exp
-            .instrs
-            .iter()
-            .filter(|i| i.key.region == r)
-            .map(|i| (i.key, i.latency))
-            .collect();
+        let instr_latency: HashMap<InstrKey, u32> =
+            exp.instrs.iter().filter(|i| i.key.region == r).map(|i| (i.key, i.latency)).collect();
         let mut instr_keys: Vec<InstrKey> =
             exp.instrs.iter().filter(|i| i.key.region == r).map(|i| i.key).collect();
         instr_keys.sort();
         for key in instr_keys {
             let ins = incoming.get(&key).cloned().unwrap_or_default();
-            let times: Vec<u32> = ins
-                .iter()
-                .map(|(from, hops)| endpoint_arrival(&arrival, *from) + hops)
-                .collect();
+            let times: Vec<u32> =
+                ins.iter().map(|(from, hops)| endpoint_arrival(&arrival, *from) + hops).collect();
             let ready = times.iter().copied().max().unwrap_or(0);
             if let (Some(max), Some(min)) =
                 (times.iter().copied().max(), times.iter().copied().min())
             {
                 max_delay_fifo = max_delay_fifo.max(max - min);
             }
+            // `instr_keys` and `instr_latency` are built from the same
+            // filter over `exp.instrs`, so the lookup cannot miss.
             arrival.insert(key, ready + instr_latency[&key]);
         }
         for (from, hops) in &output_edges {
@@ -361,8 +354,7 @@ mod tests {
         let a = g.input(InPortId(0));
         let s = g.op(OpCode::Add, &[a, a]);
         g.output(s, OutPortId(0));
-        let sched =
-            SpatialScheduler::new(mesh).schedule(&[Region::temporal("t", g)]).unwrap();
+        let sched = SpatialScheduler::new(mesh).schedule(&[Region::temporal("t", g)]).unwrap();
         assert_eq!(sched.dpe_load.values().sum::<usize>(), 1);
     }
 

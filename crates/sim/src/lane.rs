@@ -365,9 +365,8 @@ impl Lane {
 
     /// Fires every region that is ready this cycle.
     pub(crate) fn fire_regions(&mut self, now: u64) {
-        let has_pending_activity = !self.streams.is_empty()
-            || !self.cmd_queue.is_empty()
-            || !self.instances.is_empty();
+        let has_pending_activity =
+            !self.streams.is_empty() || !self.cmd_queue.is_empty() || !self.instances.is_empty();
         for r in 0..self.regions.len() {
             let ready = self.region_ready(r, now);
             match ready {
@@ -465,6 +464,8 @@ impl Lane {
         }
 
         if is_temporal {
+            // `temporal_shape` is built for every temporal region at
+            // configure time, so it is always present on this branch.
             let shape = self.regions[r].temporal_shape.clone().expect("temporal");
             let nodes = shape
                 .nodes
@@ -498,21 +499,17 @@ impl Lane {
     /// FIFO space — backpressure stalls delivery).
     pub(crate) fn deliver_outputs(&mut self, now: u64) {
         for r in 0..self.regions.len() {
-            loop {
-                let Some((ready, _)) = self.regions[r].inflight.front() else { break };
+            while let Some((ready, outs)) = self.regions[r].inflight.front() {
                 if *ready > now {
                     break;
                 }
-                let all_fit = self.regions[r]
-                    .inflight
-                    .front()
-                    .expect("checked")
-                    .1
+                let all_fit = outs
                     .iter()
                     .all(|(p, v)| !v.any_valid() || self.out_ports[p.0 as usize].has_space());
                 if !all_fit {
                     break;
                 }
+                // Front exists: the `while let` just matched it.
                 let (_, outs) = self.regions[r].inflight.pop_front().expect("checked");
                 for (p, v) in outs {
                     if v.any_valid() {
@@ -541,10 +538,7 @@ impl Lane {
                         continue;
                     }
                     // Remote operands pay a temporal-network penalty.
-                    let remote = inst.nodes[n]
-                        .args
-                        .iter()
-                        .any(|a| inst.nodes[*a].dpe != dpe);
+                    let remote = inst.nodes[n].args.iter().any(|a| inst.nodes[*a].dpe != dpe);
                     let extra = if remote { 2 } else { 0 };
                     let lat = inst.nodes[n].latency;
                     inst.nodes[n].done_at = Some(now + lat + extra);
@@ -564,10 +558,7 @@ impl Lane {
             if blocked_regions.contains(&inst.region) {
                 return true;
             }
-            let done = inst
-                .nodes
-                .iter()
-                .all(|n| n.done_at.map(|d| d <= now).unwrap_or(false));
+            let done = inst.nodes.iter().all(|n| n.done_at.map(|d| d <= now).unwrap_or(false));
             let fits = done
                 && inst
                     .outputs
@@ -609,6 +600,11 @@ fn adapt_width(v: VecVal, unroll: usize) -> VecVal {
             None => VecVal::invalid(unroll),
         }
     } else {
+        // Unreachable for validated programs: `RevelProgram::validate`
+        // rejects any binding whose port width cannot serve the region's
+        // unroll (ProgramError::PortWidthMismatch), and `Machine::run`
+        // validates before simulating. Reaching this means a caller fed
+        // the lane model directly with an unvalidated program.
         panic!("port width {} incompatible with region unroll {unroll}", v.width());
     }
 }

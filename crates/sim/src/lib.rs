@@ -58,11 +58,13 @@ mod lane;
 mod machine;
 mod memory;
 mod port;
-mod program;
 mod stats;
 
 pub use machine::{Machine, SimError, SimOptions};
 pub use memory::Scratchpad;
 pub use port::{InPort, OutPort};
-pub use program::{ControlStep, HostMem, HostOp, ProgramError, RevelProgram};
+// The program representation lives in `revel-prog` (so the static verifier
+// can analyze programs without depending on the simulator); re-exported here
+// for backward compatibility.
+pub use revel_prog::{ControlStep, HostMem, HostOp, ProgramError, RevelProgram};
 pub use stats::{CycleBreakdown, CycleClass, RunReport};

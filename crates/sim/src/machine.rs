@@ -3,10 +3,10 @@
 
 use crate::lane::{ActiveStream, Lane, PatternWalker, RowTracker, StreamBody};
 use crate::memory::Scratchpad;
-use crate::program::{ControlStep, HostMem, ProgramError, RevelProgram};
 use crate::stats::{CycleBreakdown, CycleClass, RunReport};
 use revel_fabric::{EventCounts, Mesh, RevelConfig};
 use revel_isa::{LaneHop, LaneId, MemTarget, StreamCommand};
+use revel_prog::{ControlStep, HostMem, ProgramError, RevelProgram};
 use revel_scheduler::{RegionSchedule, ScheduleError, SpatialScheduler};
 use std::fmt;
 
@@ -18,11 +18,15 @@ pub struct SimOptions {
     pub predication: bool,
     /// Cycle budget before a run is declared hung.
     pub max_cycles: u64,
+    /// Run the `revel-verify` program lints before simulating and refuse
+    /// to run programs with error-severity findings. Warnings never block.
+    /// Opt out to simulate a deliberately broken program.
+    pub verify: bool,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { predication: true, max_cycles: 50_000_000 }
+        SimOptions { predication: true, max_cycles: 50_000_000, verify: true }
     }
 }
 
@@ -33,6 +37,10 @@ pub enum SimError {
     Program(ProgramError),
     /// A fabric configuration did not map onto the lane.
     Schedule(ScheduleError),
+    /// The pre-simulation lint pass found error-severity diagnostics
+    /// (the vector holds *all* findings, warnings included, so callers
+    /// can show the full picture). Disable via [`SimOptions::verify`].
+    Verify(Vec<revel_verify::Diagnostic>),
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +48,15 @@ impl fmt::Display for SimError {
         match self {
             SimError::Program(e) => write!(f, "program error: {e}"),
             SimError::Schedule(e) => write!(f, "schedule error: {e}"),
+            SimError::Verify(diags) => {
+                let errors =
+                    diags.iter().filter(|d| d.severity() == revel_verify::Severity::Error).count();
+                write!(f, "program failed static verification ({errors} error(s))")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -170,9 +187,19 @@ impl Machine {
     ///
     /// # Errors
     /// [`SimError::Program`] if the program is malformed,
+    /// [`SimError::Verify`] if the static lints find errors (unless
+    /// [`SimOptions::verify`] is off),
     /// [`SimError::Schedule`] if a configuration does not fit the fabric.
     pub fn run(&mut self, program: &RevelProgram) -> Result<RunReport, SimError> {
         program.validate(&self.cfg.lane)?;
+        if self.opts.verify {
+            // Program-level lints only: the spatial compile below already
+            // covers schedule legality, so the gate does not repeat it.
+            let diags = revel_verify::Verifier::program_only().verify(program, &self.cfg);
+            if revel_verify::has_errors(&diags) {
+                return Err(SimError::Verify(diags));
+            }
+        }
         // Spatially compile every configuration up front.
         let mesh = Mesh::for_lane(&self.cfg.lane);
         let scheduler = SpatialScheduler::new(mesh)
@@ -233,19 +260,42 @@ impl Machine {
     /// Prints a deadlock diagnostic (enabled via `REVEL_SIM_DEBUG`).
     fn dump_state(&self, now: u64, program: &RevelProgram) {
         eprintln!("=== DEADLOCK at cycle {now} ===");
-        eprintln!("control: pc={}/{} waiting={}", self.control.pc, program.control.len(), self.control.waiting);
+        eprintln!(
+            "control: pc={}/{} waiting={}",
+            self.control.pc,
+            program.control.len(),
+            self.control.waiting
+        );
         for (i, lane) in self.lanes.iter().enumerate() {
-            eprintln!("lane {i}: queue={} streams={} instances={}", lane.cmd_queue.len(), lane.streams.len(), lane.instances.len());
-            for c in &lane.cmd_queue { eprintln!("  queued: {c:?}"); }
-            for s in &lane.streams { eprintln!("  stream: {:?}", s.body); }
+            eprintln!(
+                "lane {i}: queue={} streams={} instances={}",
+                lane.cmd_queue.len(),
+                lane.streams.len(),
+                lane.instances.len()
+            );
+            for c in &lane.cmd_queue {
+                eprintln!("  queued: {c:?}");
+            }
+            for s in &lane.streams {
+                eprintln!("  stream: {:?}", s.body);
+            }
             for (p, port) in lane.in_ports.iter().enumerate() {
-                if port.occupancy() > 0 || !port.is_drained() { eprintln!("  in{p}: occ={} drained={}", port.occupancy(), port.is_drained()); }
+                if port.occupancy() > 0 || !port.is_drained() {
+                    eprintln!("  in{p}: occ={} drained={}", port.occupancy(), port.is_drained());
+                }
             }
             for (p, port) in lane.out_ports.iter().enumerate() {
-                if port.occupancy() > 0 { eprintln!("  out{p}: occ={}", port.occupancy()); }
+                if port.occupancy() > 0 {
+                    eprintln!("  out{p}: occ={}", port.occupancy());
+                }
             }
             for (r, reg) in lane.regions.iter().enumerate() {
-                eprintln!("  region {r} '{}' inflight={} next_fire={}", reg.region.name, reg.inflight_len(), reg.next_fire_cycle());
+                eprintln!(
+                    "  region {r} '{}' inflight={} next_fire={}",
+                    reg.region.name,
+                    reg.inflight_len(),
+                    reg.next_fire_cycle()
+                );
             }
         }
     }
@@ -319,15 +369,9 @@ impl Machine {
             return;
         }
         // All destination queues must have space.
-        let targets: Vec<usize> = vc
-            .lanes
-            .iter()
-            .map(|l| l.0 as usize)
-            .filter(|l| *l < self.lanes.len())
-            .collect();
-        if targets
-            .iter()
-            .any(|&l| self.lanes[l].cmd_queue.len() >= self.cfg.lane.cmd_queue_entries)
+        let targets: Vec<usize> =
+            vc.lanes.iter().map(|l| l.0 as usize).filter(|l| *l < self.lanes.len()).collect();
+        if targets.iter().any(|&l| self.lanes[l].cmd_queue.len() >= self.cfg.lane.cmd_queue_entries)
         {
             return; // retry next cycle
         }
@@ -345,7 +389,12 @@ impl Machine {
     /// execute in program order *per port*; independent ports may issue out
     /// of order past a stalled command (the queue scans forward). Barriers
     /// and reconfigurations serialize the queue.
-    fn issue_commands(&mut self, now: u64, program: &RevelProgram, schedules: &[Vec<RegionSchedule>]) {
+    fn issue_commands(
+        &mut self,
+        now: u64,
+        program: &RevelProgram,
+        schedules: &[Vec<RegionSchedule>],
+    ) {
         for li in 0..self.lanes.len() {
             let mut issued = 0usize;
             let mut blocked_in: Vec<u8> = Vec::new();
@@ -429,12 +478,8 @@ impl Machine {
                 let in_p = cmd.dst_in_port().map(|p| p.0);
                 let out_p = cmd.src_out_port().map(|p| p.0);
                 let mem_conflict = match &cmd {
-                    StreamCommand::Load { target: MemTarget::Private, .. } => {
-                        store_pending_private
-                    }
-                    StreamCommand::Load { target: MemTarget::Shared, .. } => {
-                        store_pending_shared
-                    }
+                    StreamCommand::Load { target: MemTarget::Private, .. } => store_pending_private,
+                    StreamCommand::Load { target: MemTarget::Shared, .. } => store_pending_shared,
                     _ => false,
                 };
                 let conflicts = mem_conflict
@@ -492,7 +537,8 @@ impl Machine {
             StreamCommand::Const { dst, pattern } => {
                 let lane = &mut self.lanes[li];
                 let d = dst.0 as usize;
-                if lane.in_busy[d] || !in_port_rebindable(&lane.in_ports[d], &revel_isa::RateFsm::ONCE)
+                if lane.in_busy[d]
+                    || !in_port_rebindable(&lane.in_ports[d], &revel_isa::RateFsm::ONCE)
                 {
                     return false;
                 }
@@ -501,10 +547,8 @@ impl Machine {
                 let values = pattern.expand().into_iter().map(f64::from_bits).collect();
                 let seq = lane.next_seq;
                 lane.next_seq += 1;
-                lane.streams.push(ActiveStream {
-                    body: StreamBody::Const { dst: dst.0, values },
-                    seq,
-                });
+                lane.streams
+                    .push(ActiveStream { body: StreamBody::Const { dst: dst.0, values }, seq });
                 true
             }
             StreamCommand::Store { src, target, pattern, discard } => {
@@ -649,16 +693,15 @@ impl Machine {
                             // at row granularity — later rewrites are
                             // anti-dependences ordered by the dataflow
                             // itself.
-                            let blocked = store_guards.iter().any(
-                                |(sseq, starget, sw, written)| {
+                            let blocked =
+                                store_guards.iter().any(|(sseq, starget, sw, written)| {
                                     let mut sw = sw.clone();
                                     *sseq < seq
                                         && *starget == *target
                                         && sw.remaining_contains(elem.offset)
                                         && (!written.contains(&elem.offset)
                                             || sw.current_row() <= elem.j)
-                                },
-                            );
+                                });
                             if blocked {
                                 sync_blocked = true;
                                 break;
@@ -753,7 +796,9 @@ impl Machine {
                             if !in_ports[dp].can_accept() {
                                 break;
                             }
-                            let Some(v) = out_ports[sp].pop_kept() else { break };
+                            let Some(v) = out_ports[sp].pop_kept() else {
+                                break;
+                            };
                             let row_end = rows.step();
                             let ok = in_ports[dp].push_word(v, row_end);
                             debug_assert!(ok, "can_accept guaranteed space");
@@ -789,7 +834,9 @@ impl Machine {
                         if !b.in_ports[dp].can_accept() {
                             break;
                         }
-                        let Some(v) = a.out_ports[sp].pop_kept() else { break };
+                        let Some(v) = a.out_ports[sp].pop_kept() else {
+                            break;
+                        };
                         let row_end = rows.step();
                         let ok = b.in_ports[dp].push_word(v, row_end);
                         debug_assert!(ok, "can_accept guaranteed space");
@@ -812,9 +859,7 @@ impl Machine {
                 let Lane { streams, in_busy, out_busy, .. } = lane;
                 streams.retain_mut(|s| {
                     let done = match &mut s.body {
-                        StreamBody::Load { walker, flushed, .. } => {
-                            walker.exhausted() && *flushed
-                        }
+                        StreamBody::Load { walker, flushed, .. } => walker.exhausted() && *flushed,
                         StreamBody::Store { walker, .. } => walker.exhausted(),
                         StreamBody::Const { values, .. } => values.is_empty(),
                         StreamBody::XferLocal { remaining, .. }

@@ -35,7 +35,7 @@ impl InPort {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_VEC_WIDTH`].
     pub fn new(width: usize, capacity: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_VEC_WIDTH);
+        assert!((1..=MAX_VEC_WIDTH).contains(&width));
         InPort {
             width,
             capacity,
@@ -100,12 +100,10 @@ impl InPort {
         debug_assert!(self.staging.len() < self.width);
         self.staging.push(value);
         self.words_in += 1;
-        if self.staging.len() == self.width || row_end {
-            if !self.flush_staged() {
-                // FIFO full: the word is consumed but the vector flush is
-                // deferred to a later cycle.
-                self.pending_flush = true;
-            }
+        if (self.staging.len() == self.width || row_end) && !self.flush_staged() {
+            // FIFO full: the word is consumed but the vector flush is
+            // deferred to a later cycle.
+            self.pending_flush = true;
         }
         true
     }
@@ -233,7 +231,7 @@ impl OutPort {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_VEC_WIDTH`].
     pub fn new(width: usize, capacity: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_VEC_WIDTH);
+        assert!((1..=MAX_VEC_WIDTH).contains(&width));
         OutPort {
             width,
             capacity,

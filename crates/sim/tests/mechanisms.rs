@@ -12,7 +12,10 @@ use revel_isa::{
 use revel_sim::{Machine, RevelProgram, SimOptions};
 
 fn machine() -> Machine {
-    Machine::new(RevelConfig::single_lane(), SimOptions { predication: true, max_cycles: 100_000 })
+    Machine::new(
+        RevelConfig::single_lane(),
+        SimOptions { predication: true, max_cycles: 100_000, ..SimOptions::default() },
+    )
 }
 
 fn lane0() -> LaneMask {
@@ -44,11 +47,28 @@ fn keep_first_xfer_forwards_group_heads() {
     let cfg = prog.add_config(vec![copy_region(false, 1), Region::temporal("dbl", g2)]);
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 12), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::xfer(OutPortId(2), InPortId(6), 3, RateFsm::fixed(4), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(6), MemTarget::Private, AffinePattern::linear(32, 3), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 12),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::xfer(OutPortId(2), InPortId(6), 3, RateFsm::fixed(4), RateFsm::ONCE),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(6),
+            MemTarget::Private,
+            AffinePattern::linear(32, 3),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();
@@ -67,16 +87,40 @@ fn drop_first_xfer_forwards_group_tails_with_rows() {
     let mut g2 = Dfg::new("neg");
     let b = g2.input(InPortId(3));
     let d = g2.op(OpCode::Neg, &[b]);
-    g2.output(d, OutPortId(6));
+    // Out-port 3 is 4 words wide, matching the unroll (port 6 is scalar
+    // and would fail the V012 width lint).
+    g2.output(d, OutPortId(3));
     let cfg = prog.add_config(vec![copy_region(false, 1), Region::systolic("neg", g2, 4)]);
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 9), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::xfer_tail(
-        OutPortId(2), InPortId(3), 6, RateFsm::fixed(3), RateFsm::fixed(2)));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(6), MemTarget::Private, AffinePattern::linear(32, 6), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 9),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::xfer_tail(
+            OutPortId(2),
+            InPortId(3),
+            6,
+            RateFsm::fixed(3),
+            RateFsm::fixed(2),
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(3),
+            MemTarget::Private,
+            AffinePattern::linear(32, 6),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();
@@ -84,10 +128,7 @@ fn drop_first_xfer_forwards_group_tails_with_rows() {
     m.write_private(LaneId(0), 0, &vals);
     let r = m.run(&prog).unwrap();
     assert!(!r.timed_out);
-    assert_eq!(
-        m.read_private(LaneId(0), 32, 6),
-        [-1.0, -2.0, -4.0, -5.0, -7.0, -8.0]
-    );
+    assert_eq!(m.read_private(LaneId(0), 32, 6), [-1.0, -2.0, -4.0, -5.0, -7.0, -8.0]);
 }
 
 #[test]
@@ -101,16 +142,44 @@ fn set_accum_len_retunes_between_phases() {
     let cfg = prog.add_config(vec![Region::systolic("acc", g, 1)]);
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 8), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(32, 2), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 8),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(32, 2),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
     p(&mut prog, StreamCommand::SetAccumLen { region: 0, len: RateFsm::fixed(2) });
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 4), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(34, 2), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 4),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(34, 2),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();
@@ -131,16 +200,44 @@ fn store_to_load_ordering_write_once() {
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
     // Phase A: copy input -> scratch.
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 8), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(16, 8), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 8),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(16, 8),
+            RateFsm::ONCE,
+        ),
+    );
     // Phase B (no barrier!): copy scratch -> result; the guard must hold
     // each element until phase A writes it.
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(16, 8), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(32, 8), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(16, 8),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(32, 8),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();
@@ -161,15 +258,32 @@ fn inter_lane_xfer_moves_data_right() {
     let cfg = prog.add_config(vec![copy_region(false, 1)]);
     // Lane 0: load + copy + xfer right into lane 1's in2... lane 1's
     // region also copies and stores.
-    prog.push(VectorCommand::broadcast(LaneMask::all(2), StreamCommand::Configure {
-        config: ConfigId(cfg),
-    }));
-    prog.push(VectorCommand::on_lane(LaneId(0), StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 6), InPortId(2), RateFsm::ONCE)));
-    prog.push(VectorCommand::on_lane(LaneId(0), StreamCommand::xfer_right(
-        OutPortId(2), InPortId(2), 6, RateFsm::ONCE, RateFsm::ONCE)));
-    prog.push(VectorCommand::on_lane(LaneId(1), StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(8, 6), RateFsm::ONCE)));
+    prog.push(VectorCommand::broadcast(
+        LaneMask::all(2),
+        StreamCommand::Configure { config: ConfigId(cfg) },
+    ));
+    prog.push(VectorCommand::on_lane(
+        LaneId(0),
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 6),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    ));
+    prog.push(VectorCommand::on_lane(
+        LaneId(0),
+        StreamCommand::xfer_right(OutPortId(2), InPortId(2), 6, RateFsm::ONCE, RateFsm::ONCE),
+    ));
+    prog.push(VectorCommand::on_lane(
+        LaneId(1),
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(8, 6),
+            RateFsm::ONCE,
+        ),
+    ));
     prog.push(VectorCommand::broadcast(LaneMask::all(2), StreamCommand::Wait));
 
     let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
@@ -185,12 +299,33 @@ fn dual_output_regions_feed_two_streams() {
     let cfg = prog.add_config(vec![copy_region(true, 1)]);
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, 5), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(16, 5), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(3), MemTarget::Private, AffinePattern::linear(24, 5), RateFsm::ONCE));
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, 5),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(16, 5),
+            RateFsm::ONCE,
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(3),
+            MemTarget::Private,
+            AffinePattern::linear(24, 5),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();
@@ -217,20 +352,37 @@ fn inductive_const_stream_drives_a_port() {
     let p = |prog: &mut RevelProgram, c| prog.push(VectorCommand::broadcast(lane0(), c));
     p(&mut prog, StreamCommand::Configure { config: ConfigId(cfg) });
     let total = 4 + 3 + 2; // the paper's example: 0,0,0,1,0,0,1,0,1
-    p(&mut prog, StreamCommand::load(
-        MemTarget::Private, AffinePattern::linear(0, total), InPortId(2), RateFsm::ONCE));
-    p(&mut prog, StreamCommand::konst(
-        InPortId(6),
-        ConstPattern::two_phase(
-            revel_isa::word_from_f64(0.0),
-            RateFsm::inductive(3, -1),
-            revel_isa::word_from_f64(1.0),
+    p(
+        &mut prog,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::linear(0, total),
+            InPortId(2),
             RateFsm::ONCE,
-            3,
         ),
-    ));
-    p(&mut prog, StreamCommand::store(
-        OutPortId(2), MemTarget::Private, AffinePattern::linear(32, total), RateFsm::ONCE));
+    );
+    p(
+        &mut prog,
+        StreamCommand::konst(
+            InPortId(6),
+            ConstPattern::two_phase(
+                revel_isa::word_from_f64(0.0),
+                RateFsm::inductive(3, -1),
+                revel_isa::word_from_f64(1.0),
+                RateFsm::ONCE,
+                3,
+            ),
+        ),
+    );
+    p(
+        &mut prog,
+        StreamCommand::store(
+            OutPortId(2),
+            MemTarget::Private,
+            AffinePattern::linear(32, total),
+            RateFsm::ONCE,
+        ),
+    );
     p(&mut prog, StreamCommand::Wait);
 
     let mut m = machine();

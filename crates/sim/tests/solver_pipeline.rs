@@ -179,7 +179,7 @@ fn run_solver(n: usize, predication: bool) -> (Vec<f64>, revel_sim::RunReport) {
     let (a, b) = test_matrix(n);
     let mut m = Machine::new(
         RevelConfig::single_lane(),
-        SimOptions { predication, max_cycles: 500_000 },
+        SimOptions { predication, max_cycles: 500_000, ..SimOptions::default() },
     );
     let flat: Vec<f64> = a.iter().flatten().copied().collect();
     m.write_private(LaneId(0), 0, &flat);
@@ -218,12 +218,7 @@ fn solver_matches_reference_larger_sizes() {
         reference_solver(&a, &mut b_ref);
         let (x, _) = run_solver(n, true);
         for i in 0..n {
-            assert!(
-                (x[i] - b_ref[i]).abs() < 1e-8,
-                "n={n}: x[{i}] = {} != {}",
-                x[i],
-                b_ref[i]
-            );
+            assert!((x[i] - b_ref[i]).abs() < 1e-8, "n={n}: x[{i}] = {} != {}", x[i], b_ref[i]);
         }
     }
 }
@@ -257,27 +252,31 @@ fn run_streaming(n_rows: i64, row_len: i64, predication: bool) -> (Vec<f64>, u64
     let cfg = prog.add_config(vec![region]);
     let lane0 = LaneMask::single(LaneId(0));
     let total = n_rows * row_len;
-    prog.push(VectorCommand::broadcast(lane0, StreamCommand::Configure {
-        config: ConfigId(cfg),
-    }));
+    prog.push(VectorCommand::broadcast(lane0, StreamCommand::Configure { config: ConfigId(cfg) }));
     // 2D pattern with short rows (row_len % 4 != 0) triggers predication.
-    prog.push(VectorCommand::broadcast(lane0, StreamCommand::load(
-        MemTarget::Private,
-        AffinePattern::two_d(0, 1, row_len, row_len, n_rows, 0),
-        InPortId(2),
-        RateFsm::ONCE,
-    )));
-    prog.push(VectorCommand::broadcast(lane0, StreamCommand::store(
-        OutPortId(0),
-        MemTarget::Private,
-        AffinePattern::linear(total, total),
-        RateFsm::ONCE,
-    )));
+    prog.push(VectorCommand::broadcast(
+        lane0,
+        StreamCommand::load(
+            MemTarget::Private,
+            AffinePattern::two_d(0, 1, row_len, row_len, n_rows, 0),
+            InPortId(2),
+            RateFsm::ONCE,
+        ),
+    ));
+    prog.push(VectorCommand::broadcast(
+        lane0,
+        StreamCommand::store(
+            OutPortId(0),
+            MemTarget::Private,
+            AffinePattern::linear(total, total),
+            RateFsm::ONCE,
+        ),
+    ));
     prog.push(VectorCommand::broadcast(lane0, StreamCommand::Wait));
 
     let mut m = Machine::new(
         RevelConfig::single_lane(),
-        SimOptions { predication, max_cycles: 100_000 },
+        SimOptions { predication, max_cycles: 100_000, ..SimOptions::default() },
     );
     let input: Vec<f64> = (0..total).map(|i| i as f64).collect();
     m.write_private(LaneId(0), 0, &input);
@@ -318,8 +317,5 @@ fn solver_scales_subquadratically_in_cycles() {
     let (_, r12) = run_solver(12, true);
     let (_, r24) = run_solver(24, true);
     let growth = r24.cycles as f64 / r12.cycles as f64;
-    assert!(
-        growth < 6.0,
-        "cycles should grow roughly quadratically, got {growth}x for 2x size"
-    );
+    assert!(growth < 6.0, "cycles should grow roughly quadratically, got {growth}x for 2x size");
 }

@@ -1,0 +1,196 @@
+//! Stream/port conservation: every bound input port must be fed and every
+//! bound output port drained while its configuration is active (V001,
+//! V003), and no stream may feed a port nothing reads (V002).
+
+use crate::context::Context;
+use crate::diag::{Code, Diagnostic, Location};
+use crate::Lint;
+use std::collections::BTreeMap;
+
+/// V001/V002/V003: feed/bind conservation per configuration activation.
+pub struct Conservation;
+
+impl Lint for Conservation {
+    fn name(&self) -> &'static str {
+        "port-conservation"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::V001, Code::V002, Code::V003]
+    }
+
+    fn check(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for (l, view) in ctx.lanes.iter().enumerate() {
+            for (s, seg) in view.segments.iter().enumerate() {
+                let regions = ctx.segment_regions(l, s);
+                let traffic = &ctx.traffic[l][s];
+                // A trailing Configure with no commands after it is a
+                // reconfiguration the program ends on (or the tail of a
+                // broadcast whose data commands target other lanes);
+                // nothing fires, so nothing can starve.
+                let quiescent = seg.cmds.is_empty();
+
+                // In-port -> reading regions (for the stale-feed check).
+                let mut readers: BTreeMap<u8, Vec<usize>> = BTreeMap::new();
+                for (r, region) in regions.iter().enumerate() {
+                    for (p, _) in region.input_bindings() {
+                        readers.entry(p.0).or_default().push(r);
+                    }
+                }
+
+                if !quiescent {
+                    for (r, region) in regions.iter().enumerate() {
+                        let ins: Vec<u8> =
+                            region.input_bindings().iter().map(|(p, _)| p.0).collect();
+                        let outs: Vec<u8> = region.output_ports().iter().map(|p| p.0).collect();
+                        let fed = ins.iter().filter(|p| traffic.feeds.contains_key(p)).count();
+                        let drained =
+                            outs.iter().filter(|p| traffic.drains.contains_key(p)).count();
+                        // A region with no traffic on any of its ports is
+                        // parked: configured on this lane but deliberately
+                        // idle (the Cholesky ring parks its pivot region on
+                        // round-opening lanes). Nothing fires, so nothing
+                        // can starve or back up.
+                        if fed == 0 && drained == 0 {
+                            continue;
+                        }
+                        for port in ins.iter().filter(|p| !traffic.feeds.contains_key(p)) {
+                            out.push(Diagnostic::new(
+                                Code::V001,
+                                Location::region(seg.config, r)
+                                    .on_lane(view.lane)
+                                    .at_command(seg.configure_index),
+                                format!(
+                                    "region '{}' reads in-port {port}, but no load, const or \
+                                     XFER feeds it while config {} is active even though its \
+                                     other ports see traffic; the region can never fire",
+                                    region.name, seg.config
+                                ),
+                            ));
+                        }
+                        for port in outs.iter().filter(|p| !traffic.drains.contains_key(p)) {
+                            out.push(Diagnostic::new(
+                                Code::V003,
+                                Location::region(seg.config, r)
+                                    .on_lane(view.lane)
+                                    .at_command(seg.configure_index),
+                                format!(
+                                    "region '{}' writes out-port {port}, but no store or XFER \
+                                     drains it while config {} is active; its FIFO will fill \
+                                     and stall the region",
+                                    region.name, seg.config
+                                ),
+                            ));
+                        }
+                    }
+                }
+
+                for (port, cmds) in &traffic.feeds {
+                    if !readers.contains_key(port) {
+                        out.push(Diagnostic::new(
+                            Code::V002,
+                            Location::config(seg.config).on_lane(view.lane).at_command(cmds[0]),
+                            format!(
+                                "stream delivers to in-port {port}, which no region of \
+                                 config {} reads; the data goes stale in the port FIFO",
+                                seg.config
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_util::*;
+    use crate::{run_lint, Code};
+    use revel_isa::{AffinePattern, InPortId, MemTarget, OutPortId, RateFsm, StreamCommand};
+
+    #[test]
+    fn starved_in_port_is_v001() {
+        // Region reads ports 0 and 2; only port 0 is fed.
+        let mut p = neg_program(&[0, 2], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V001]);
+        assert!(diags[0].message.contains("in-port 2"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn stale_feed_is_v002() {
+        let mut p = neg_program(&[0], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        // Port 3 is bound by no region.
+        push1(&mut p, load_priv(8, 4, 3));
+        push1(&mut p, store_priv(6, 16, 4));
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V002]);
+    }
+
+    #[test]
+    fn undrained_out_port_is_v003() {
+        let mut p = neg_program(&[0], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V003]);
+        assert!(diags[0].message.contains("out-port 6"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn balanced_program_is_clean() {
+        let mut p = neg_program(&[0], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        push1(&mut p, StreamCommand::Wait);
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn xfer_counts_as_feed_and_drain() {
+        let mut p = neg_program(&[0], 6);
+        // Recirculate: out 6 feeds in 0 again; seed + final store present.
+        push1(
+            &mut p,
+            StreamCommand::load(
+                MemTarget::Private,
+                AffinePattern::scalar(0),
+                InPortId(0),
+                RateFsm::ONCE,
+            ),
+        );
+        push1(
+            &mut p,
+            StreamCommand::xfer(OutPortId(6), InPortId(0), 3, RateFsm::ONCE, RateFsm::ONCE),
+        );
+        push1(&mut p, store_priv(6, 8, 1));
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn fully_idle_region_is_parked_not_starved() {
+        // Two regions configured; only pipeline 'a' (in 0 -> out 6) sees
+        // traffic. Pipeline 'b' is parked — the Cholesky-ring idiom — and
+        // must not be reported as starved or undrained.
+        let mut p = neg2_program();
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn trailing_reconfigure_is_quiescent() {
+        let mut p = neg_program(&[0], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        push1(&mut p, StreamCommand::Configure { config: revel_isa::ConfigId(0) });
+        let diags = run_lint(&super::Conservation, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

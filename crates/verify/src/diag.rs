@@ -1,0 +1,360 @@
+//! Diagnostic codes, severities, locations, and the [`Diagnostic`] record
+//! every lint emits.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; the simulator will still run.
+    Warning,
+    /// A program that will hang, compute garbage, or exceed the hardware
+    /// model; the pre-simulation gate rejects it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. Codes are append-only: a released code never
+/// changes meaning, so tests and suppression lists can match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // each code is documented by summary()/explain()
+pub enum Code {
+    V001,
+    V002,
+    V003,
+    V004,
+    V005,
+    V006,
+    V007,
+    V008,
+    V009,
+    V010,
+    V011,
+    V012,
+    V013,
+    V014,
+}
+
+impl Code {
+    /// Every code, in order.
+    pub const ALL: [Code; 14] = [
+        Code::V001,
+        Code::V002,
+        Code::V003,
+        Code::V004,
+        Code::V005,
+        Code::V006,
+        Code::V007,
+        Code::V008,
+        Code::V009,
+        Code::V010,
+        Code::V011,
+        Code::V012,
+        Code::V013,
+        Code::V014,
+    ];
+
+    /// The stable textual form (`"V001"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::V001 => "V001",
+            Code::V002 => "V002",
+            Code::V003 => "V003",
+            Code::V004 => "V004",
+            Code::V005 => "V005",
+            Code::V006 => "V006",
+            Code::V007 => "V007",
+            Code::V008 => "V008",
+            Code::V009 => "V009",
+            Code::V010 => "V010",
+            Code::V011 => "V011",
+            Code::V012 => "V012",
+            Code::V013 => "V013",
+            Code::V014 => "V014",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::V001
+            | Code::V004
+            | Code::V005
+            | Code::V006
+            | Code::V009
+            | Code::V010
+            | Code::V012
+            | Code::V013
+            | Code::V014 => Severity::Error,
+            Code::V002 | Code::V003 | Code::V007 | Code::V008 | Code::V011 => Severity::Warning,
+        }
+    }
+
+    /// One-line summary of the invariant the code checks.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::V001 => "region input port is never fed while its configuration is active",
+            Code::V002 => "stream feeds an input port no active region reads",
+            Code::V003 => "region output port is never drained",
+            Code::V004 => "operator joins values of different accumulation rates",
+            Code::V005 => "stream address pattern leaves the scratchpad",
+            Code::V006 => "two store streams write overlapping addresses without a barrier",
+            Code::V007 => "store may overwrite addresses an earlier load still reads",
+            Code::V008 => "dataflow-graph node does not reach any output",
+            Code::V009 => "SetAccumLen names a region the active configuration lacks",
+            Code::V010 => "data command issued before any Configure",
+            Code::V011 => "systolic routes share a mesh link after negotiation",
+            Code::V012 => "output port narrower than the region vector written to it",
+            Code::V013 => "dataflow-graph node references a later or missing node",
+            Code::V014 => "configuration does not map onto the lane fabric",
+        }
+    }
+
+    /// A longer human explanation: why the invariant matters and what the
+    /// dynamic failure mode would be.
+    pub fn explain(&self) -> &'static str {
+        match self {
+            Code::V001 => {
+                "A region fires only when every bound input port presents data. \
+                 An input port with no Load/Const/XFER feeding it while the \
+                 configuration is active starves the region forever: the \
+                 simulation hangs until the cycle limit."
+            }
+            Code::V002 => {
+                "Data delivered to a port no region of the active configuration \
+                 reads sits in the FIFO until the next reconfiguration, where it \
+                 becomes stale input for an unrelated region."
+            }
+            Code::V003 => {
+                "An output port with no Store/XFER draining it fills its FIFO and \
+                 back-pressures the region, which then deadlocks every region \
+                 sharing its input streams."
+            }
+            Code::V004 => {
+                "An accumulator emits one value per reduction window, so its \
+                 consumers run at a lower firing rate than the raw input stream. \
+                 An operator joining operands of different accumulation depths \
+                 would need one operand to stall for the other's window, which \
+                 the statically-timed systolic fabric cannot do."
+            }
+            Code::V005 => {
+                "A load/store whose affine pattern dereferences an address \
+                 outside the private or shared scratchpad reads garbage or \
+                 faults; the bound is checked against the lane-specialized \
+                 pattern (lane address scaling included)."
+            }
+            Code::V006 => {
+                "Store streams in the same barrier epoch drain concurrently; \
+                 if their address sets overlap, the final memory contents depend \
+                 on drain interleaving. Separate them with BarrierScratch/Wait."
+            }
+            Code::V007 => {
+                "A store issued after a load that reads overlapping addresses \
+                 can overwrite them before the load's pattern walker gets there \
+                 (write-after-read). The hazard is suppressed when the store's \
+                 data provably flows from that load through the fabric, because \
+                 dataflow ordering then serializes the accesses."
+            }
+            Code::V008 => {
+                "A node whose value never reaches an Output wastes a PE (and, \
+                 for Input nodes, silently consumes port bandwidth) without \
+                 affecting results — almost always a leftover from editing the \
+                 dataflow graph."
+            }
+            Code::V009 => {
+                "SetAccumLen with a region index the active configuration does \
+                 not define is silently ignored by the hardware; the intended \
+                 accumulator keeps its old length and sums the wrong window."
+            }
+            Code::V010 => {
+                "Loads, stores, consts, XFERs and SetAccumLen target ports and \
+                 regions of the *active* configuration; before the first \
+                 Configure there is none, so the command's effect is undefined."
+            }
+            Code::V011 => {
+                "Systolic dependences need dedicated mesh links to keep their \
+                 static timing; links still shared after negotiated routing \
+                 serialize transfers and break the II=1 pipeline guarantee."
+            }
+            Code::V012 => {
+                "A region writes vectors of its unroll width; an output port \
+                 whose hardware width is smaller cannot carry them at rate, so \
+                 the model's bandwidth accounting (and real hardware) breaks."
+            }
+            Code::V013 => {
+                "Dataflow-graph evaluation is one forward pass in node order; an \
+                 argument referencing a later or non-existent node would read \
+                 uninitialized state."
+            }
+            Code::V014 => {
+                "The configuration needs more PEs, temporal instruction slots, \
+                 or routable links than the lane provides; Machine::run would \
+                 reject it at spatial-compile time."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the program a diagnostic points. All coordinates are optional:
+/// a lint fills in what it knows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Lane the offending command targets.
+    pub lane: Option<u8>,
+    /// Configuration index (into `RevelProgram::configs`).
+    pub config: Option<usize>,
+    /// Region index within the configuration.
+    pub region: Option<usize>,
+    /// Node id within the region's dataflow graph.
+    pub node: Option<u32>,
+    /// Control-step index of the offending command.
+    pub command: Option<usize>,
+}
+
+impl Location {
+    /// A location naming only a control step.
+    pub fn command(index: usize) -> Self {
+        Location { command: Some(index), ..Location::default() }
+    }
+
+    /// A location naming a configuration.
+    pub fn config(config: usize) -> Self {
+        Location { config: Some(config), ..Location::default() }
+    }
+
+    /// A location naming a region of a configuration.
+    pub fn region(config: usize, region: usize) -> Self {
+        Location { config: Some(config), region: Some(region), ..Location::default() }
+    }
+
+    /// Adds the lane coordinate.
+    pub fn on_lane(mut self, lane: u8) -> Self {
+        self.lane = Some(lane);
+        self
+    }
+
+    /// Adds the node coordinate.
+    pub fn at_node(mut self, node: u32) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Adds the command coordinate.
+    pub fn at_command(mut self, index: usize) -> Self {
+        self.command = Some(index);
+        self
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(c) = self.config {
+            parts.push(format!("config {c}"));
+        }
+        if let Some(r) = self.region {
+            parts.push(format!("region {r}"));
+        }
+        if let Some(n) = self.node {
+            parts.push(format!("node {n}"));
+        }
+        if let Some(i) = self.command {
+            parts.push(format!("command {i}"));
+        }
+        if let Some(l) = self.lane {
+            parts.push(format!("lane {l}"));
+        }
+        if parts.is_empty() {
+            f.write_str("program")
+        } else {
+            f.write_str(&parts.join(", "))
+        }
+    }
+}
+
+/// One finding of the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Program coordinates.
+    pub location: Location,
+    /// Specific message (names the ports/addresses/regions involved).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: Code, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic { code, location, message: message.into() }
+    }
+
+    /// The severity (derived from the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {} (at {})", self.severity(), self.code, self.message, self.location)
+    }
+}
+
+/// True if any diagnostic in the slice is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity() == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let strs: std::collections::HashSet<_> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(strs.len(), Code::ALL.len());
+        assert_eq!(Code::V001.as_str(), "V001");
+        assert_eq!(Code::V014.as_str(), "V014");
+    }
+
+    #[test]
+    fn every_code_has_prose() {
+        for c in Code::ALL {
+            assert!(!c.summary().is_empty());
+            assert!(c.explain().len() > c.summary().len());
+        }
+    }
+
+    #[test]
+    fn display_includes_code_and_location() {
+        let d =
+            Diagnostic::new(Code::V001, Location::region(0, 1).on_lane(2), "in-port 3 never fed");
+        let s = d.to_string();
+        assert!(s.contains("error[V001]"), "{s}");
+        assert!(s.contains("config 0"), "{s}");
+        assert!(s.contains("lane 2"), "{s}");
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let w = Diagnostic::new(Code::V002, Location::default(), "w");
+        let e = Diagnostic::new(Code::V005, Location::default(), "e");
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        assert!(has_errors(&[w, e]));
+    }
+}

@@ -1,0 +1,244 @@
+//! Program and dataflow-graph hygiene: dead nodes (V008), `SetAccumLen`
+//! region indexes (V009), commands before any `Configure` (V010), and
+//! dataflow-graph forward references (V013).
+
+use crate::context::Context;
+use crate::diag::{Code, Diagnostic, Location};
+use crate::Lint;
+use revel_dfg::Node;
+use revel_isa::StreamCommand;
+
+/// V008 + V013: every node must be consistent (args strictly earlier) and
+/// live (reach some output).
+pub struct DfgHygiene;
+
+impl Lint for DfgHygiene {
+    fn name(&self) -> &'static str {
+        "dfg-hygiene"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::V008, Code::V013]
+    }
+
+    fn check(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for (c, regions) in ctx.program.configs.iter().enumerate() {
+            for (r, region) in regions.iter().enumerate() {
+                let dfg = &region.dfg;
+                // V013: forward/self references. The `Dfg` builders make
+                // these unconstructible through the public API, so this is
+                // a defense against hand-deserialized or corrupted graphs.
+                let mut malformed = false;
+                for (id, node) in dfg.iter() {
+                    for arg in node.args() {
+                        if arg.0 >= id.0 {
+                            malformed = true;
+                            out.push(Diagnostic::new(
+                                Code::V013,
+                                Location::region(c, r).at_node(id.0),
+                                format!(
+                                    "region '{}': node {} references node {}, which is not \
+                                     defined before it",
+                                    region.name, id.0, arg.0
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if malformed {
+                    continue; // liveness over a malformed graph is noise
+                }
+                // Dead-code hygiene applies to systolic regions only: there
+                // every node occupies a dedicated PE, so a dead node wastes
+                // fabric. Temporal regions legitimately carry instructions
+                // that never reach an output — the dataflow baseline models
+                // its dependence-FSM bookkeeping (§III-B, Fig. 9) as exactly
+                // such a chain.
+                if region.kind == revel_dfg::RegionKind::Temporal {
+                    continue;
+                }
+                // V008: backward reachability from the outputs. Arguments
+                // always precede their uses (V013 above), so one reverse
+                // pass reaches a fixpoint.
+                let mut live = vec![false; dfg.len()];
+                for i in (0..dfg.len()).rev() {
+                    let node = dfg.node(revel_dfg::NodeId(i as u32));
+                    if matches!(node, Node::Output { .. }) {
+                        live[i] = true;
+                    }
+                    if live[i] {
+                        for arg in node.args() {
+                            live[arg.0 as usize] = true;
+                        }
+                    }
+                }
+                for (id, node) in dfg.iter() {
+                    if !live[id.0 as usize] {
+                        out.push(Diagnostic::new(
+                            Code::V008,
+                            Location::region(c, r).at_node(id.0),
+                            format!(
+                                "region '{}': {} (node {}) never reaches an output; it \
+                                 occupies a PE without affecting results",
+                                region.name,
+                                describe(node),
+                                id.0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn describe(node: &Node) -> String {
+    match node {
+        Node::Input { port, .. } => format!("input from port {}", port.0),
+        Node::Const { value } => format!("constant {value}"),
+        Node::Op { op, .. } => format!("{op:?} operator"),
+        Node::Accum { .. } => "accumulator".to_string(),
+        Node::AccumVec { .. } => "vector accumulator".to_string(),
+        Node::Output { .. } => "output".to_string(),
+    }
+}
+
+/// V009 + V010: command-stream structure.
+pub struct CommandStructure;
+
+impl Lint for CommandStructure {
+    fn name(&self) -> &'static str {
+        "command-structure"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::V009, Code::V010]
+    }
+
+    fn check(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for view in &ctx.lanes {
+            for c in &view.pre_config {
+                if matches!(c.cmd, StreamCommand::Wait | StreamCommand::BarrierScratch) {
+                    continue; // sync before the first Configure is a no-op
+                }
+                out.push(Diagnostic::new(
+                    Code::V010,
+                    Location::command(c.index).on_lane(view.lane),
+                    "data command issued before any Configure; there is no active \
+                     configuration for it to target"
+                        .to_string(),
+                ));
+            }
+            for (s, seg) in view.segments.iter().enumerate() {
+                let num_regions = ctx.segment_regions(view.lane as usize, s).len();
+                for c in &seg.cmds {
+                    let StreamCommand::SetAccumLen { region, .. } = c.cmd else {
+                        continue;
+                    };
+                    if region as usize >= num_regions {
+                        out.push(Diagnostic::new(
+                            Code::V009,
+                            Location::config(seg.config).on_lane(view.lane).at_command(c.index),
+                            format!(
+                                "SetAccumLen targets region {region}, but config {} has only \
+                                 {num_regions} region(s); the hardware ignores the command \
+                                 and the accumulator keeps its stale length",
+                                seg.config
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_util::*;
+    use crate::{run_lint, Code};
+    use revel_dfg::{Dfg, OpCode, Region};
+    use revel_isa::{InPortId, OutPortId, RateFsm, StreamCommand};
+    use revel_prog::RevelProgram;
+
+    #[test]
+    fn dead_node_is_v008() {
+        let mut g = Dfg::new("dead");
+        let x = g.input(InPortId(0));
+        let n = g.op(OpCode::Neg, &[x]);
+        let _orphan = g.op(OpCode::Add, &[x, n]); // never outputs
+        g.output(n, OutPortId(6));
+        let mut p = RevelProgram::new("v008");
+        p.add_config(vec![Region::systolic("dead", g, 1)]);
+        let diags = run_lint(&super::DfgHygiene, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V008]);
+        assert!(diags[0].message.contains("Add"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn temporal_region_overhead_is_not_dead_code() {
+        // The dataflow baseline appends dependence-FSM bookkeeping chains
+        // that never reach an output; in a temporal region that is modeled
+        // overhead, not dead fabric.
+        let mut g = Dfg::new("fsm");
+        let x = g.input(InPortId(0));
+        let n = g.op(OpCode::Neg, &[x]);
+        let _fsm = g.op(OpCode::Add, &[x, n]);
+        g.output(n, OutPortId(6));
+        let mut p = RevelProgram::new("temporal");
+        p.add_config(vec![Region::temporal("fsm", g)]);
+        let diags = run_lint(&super::DfgHygiene, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn live_graph_is_clean() {
+        let p = {
+            let mut p = neg_program(&[0], 6);
+            push1(&mut p, load_priv(0, 4, 0));
+            push1(&mut p, store_priv(6, 8, 4));
+            p
+        };
+        let diags = run_lint(&super::DfgHygiene, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn accum_len_out_of_range_is_v009() {
+        let mut p = neg_program(&[0], 6);
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        push1(&mut p, StreamCommand::SetAccumLen { region: 3, len: RateFsm::fixed(4) });
+        let diags = run_lint(&super::CommandStructure, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V009]);
+    }
+
+    #[test]
+    fn command_before_configure_is_v010() {
+        let mut p = RevelProgram::new("v010");
+        let mut g = Dfg::new("g");
+        let x = g.input(InPortId(0));
+        let n = g.op(OpCode::Neg, &[x]);
+        g.output(n, OutPortId(6));
+        p.add_config(vec![Region::systolic("g", g, 1)]);
+        push1(&mut p, load_priv(0, 4, 0)); // before Configure
+        push1(&mut p, StreamCommand::Configure { config: revel_isa::ConfigId(0) });
+        push1(&mut p, load_priv(0, 4, 0));
+        push1(&mut p, store_priv(6, 8, 4));
+        let diags = run_lint(&super::CommandStructure, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V010]);
+    }
+
+    #[test]
+    fn leading_wait_is_not_v010() {
+        let p = neg_program(&[0], 6);
+        let mut q = RevelProgram::new("wait-first");
+        q.configs = p.configs.clone();
+        push1(&mut q, StreamCommand::Wait);
+        push1(&mut q, StreamCommand::Configure { config: revel_isa::ConfigId(0) });
+        push1(&mut q, load_priv(0, 4, 0));
+        push1(&mut q, store_priv(6, 8, 4));
+        let diags = run_lint(&super::CommandStructure, &q, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

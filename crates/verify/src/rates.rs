@@ -1,0 +1,208 @@
+//! Rate consistency inside regions (V004) and hardware port-width
+//! legality for region outputs (V012).
+
+use crate::context::Context;
+use crate::diag::{Code, Diagnostic, Location};
+use crate::Lint;
+use revel_dfg::{Dfg, Node, Region};
+
+/// The accumulation depth of a node's value: how many reduction windows
+/// separate it from the raw input streams. `None` is the wildcard depth of
+/// constants, which broadcast at whatever rate their consumer fires.
+fn node_depths(dfg: &Dfg) -> Vec<Option<u32>> {
+    let mut depths: Vec<Option<u32>> = Vec::with_capacity(dfg.len());
+    for (_, node) in dfg.iter() {
+        let d = match node {
+            Node::Input { .. } => Some(0),
+            Node::Const { .. } => None,
+            Node::Op { args, .. } => {
+                let mut joined: Option<u32> = None;
+                for a in args {
+                    if let Some(d) = depths[a.0 as usize] {
+                        joined = Some(joined.map_or(d, |j| j.max(d)));
+                    }
+                }
+                joined
+            }
+            Node::Accum { arg, .. } | Node::AccumVec { arg, .. } => {
+                Some(depths[arg.0 as usize].unwrap_or(0) + 1)
+            }
+            Node::Output { arg, .. } => depths[arg.0 as usize],
+        };
+        depths.push(d);
+    }
+    depths
+}
+
+/// V004: an operator joining operands of different accumulation depths.
+pub struct RateConsistency;
+
+impl Lint for RateConsistency {
+    fn name(&self) -> &'static str {
+        "rate-consistency"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::V004]
+    }
+
+    fn check(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for (c, regions) in ctx.program.configs.iter().enumerate() {
+            for (r, region) in regions.iter().enumerate() {
+                check_region(c, r, region, out);
+            }
+        }
+    }
+}
+
+fn check_region(c: usize, r: usize, region: &Region, out: &mut Vec<Diagnostic>) {
+    let depths = node_depths(&region.dfg);
+    for (id, node) in region.dfg.iter() {
+        let Node::Op { args, op } = node else {
+            continue;
+        };
+        let arg_depths: Vec<u32> = args.iter().filter_map(|a| depths[a.0 as usize]).collect();
+        let Some(&first) = arg_depths.first() else {
+            continue;
+        };
+        if arg_depths.iter().any(|&d| d != first) {
+            out.push(Diagnostic::new(
+                Code::V004,
+                Location::region(c, r).at_node(id.0),
+                format!(
+                    "region '{}': {op:?} joins operands of accumulation depths {:?}; \
+                     the lower-rate operand fires once per reduction window while the \
+                     other fires every element, so the join can never be satisfied",
+                    region.name, arg_depths
+                ),
+            ));
+        }
+    }
+}
+
+/// V012: every out-port must be at least as wide as the vectors the region
+/// pushes into it. (Input widths are already rejected by
+/// `RevelProgram::validate`; output widths are not — this closes the gap.)
+pub struct OutPortWidth;
+
+impl Lint for OutPortWidth {
+    fn name(&self) -> &'static str {
+        "out-port-width"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::V012]
+    }
+
+    fn check(&self, ctx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let lane = &ctx.cfg.lane;
+        for (c, regions) in ctx.program.configs.iter().enumerate() {
+            for (r, region) in regions.iter().enumerate() {
+                for (id, node) in region.dfg.iter() {
+                    let Node::Output { arg, port } = node else {
+                        continue;
+                    };
+                    if port.0 as usize >= lane.num_out_ports() {
+                        continue; // out-of-range ports are ProgramError territory
+                    }
+                    // A scalar accumulator emits one valid word per window;
+                    // everything else emits the region's full vector width.
+                    let required = match region.dfg.node(*arg) {
+                        Node::Accum { .. } => 1,
+                        _ => region.unroll,
+                    };
+                    let width = lane.out_port_width(port.0);
+                    if width < required {
+                        out.push(Diagnostic::new(
+                            Code::V012,
+                            Location::region(c, r).at_node(id.0),
+                            format!(
+                                "region '{}' (unroll {}) writes {required}-wide vectors to \
+                                 out-port {}, whose hardware width is only {width} words",
+                                region.name, region.unroll, port.0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_util::*;
+    use crate::{run_lint, Code};
+    use revel_dfg::{Dfg, OpCode, Region};
+    use revel_isa::{InPortId, OutPortId, RateFsm};
+    use revel_prog::RevelProgram;
+
+    #[test]
+    fn depth_mismatch_is_v004() {
+        // sum = accum(x); y = x * sum  -- joins depth 0 with depth 1.
+        let mut g = Dfg::new("bad");
+        let x = g.input(InPortId(0));
+        let s = g.accum(x, RateFsm::fixed(8));
+        let y = g.op(OpCode::Mul, &[x, s]);
+        g.output(y, OutPortId(6));
+        let mut p = RevelProgram::new("v004");
+        p.add_config(vec![Region::systolic("bad", g, 1)]);
+        let diags = run_lint(&super::RateConsistency, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V004]);
+    }
+
+    #[test]
+    fn matched_depths_are_clean() {
+        // Two parallel accumulations joined after both reduce: same depth.
+        let mut g = Dfg::new("ok");
+        let x = g.input(InPortId(0));
+        let y = g.input(InPortId(1));
+        let sx = g.accum(x, RateFsm::fixed(8));
+        let sy = g.accum(y, RateFsm::fixed(8));
+        let d = g.op(OpCode::Div, &[sx, sy]);
+        g.output(d, OutPortId(6));
+        let mut p = RevelProgram::new("ok");
+        p.add_config(vec![Region::systolic("ok", g, 1)]);
+        let diags = run_lint(&super::RateConsistency, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn const_matches_any_depth() {
+        let mut g = Dfg::new("c");
+        let x = g.input(InPortId(0));
+        let s = g.accum(x, RateFsm::fixed(8));
+        let half = g.konst(0.5);
+        let scaled = g.op(OpCode::Mul, &[s, half]);
+        g.output(scaled, OutPortId(6));
+        let mut p = RevelProgram::new("c");
+        p.add_config(vec![Region::systolic("c", g, 1)]);
+        let diags = run_lint(&super::RateConsistency, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn narrow_out_port_is_v012() {
+        // Unroll-4 vector into out-port 6 (hardware width 1).
+        let mut g = Dfg::new("wide");
+        let x = g.input(InPortId(0));
+        let n = g.op(OpCode::Neg, &[x]);
+        g.output(n, OutPortId(6));
+        let mut p = RevelProgram::new("v012");
+        p.add_config(vec![Region::systolic("wide", g, 4)]);
+        let diags = run_lint(&super::OutPortWidth, &p, &single_lane());
+        assert_eq!(codes(&diags), vec![Code::V012]);
+    }
+
+    #[test]
+    fn scalar_accum_into_narrow_port_is_fine() {
+        let mut g = Dfg::new("acc");
+        let x = g.input(InPortId(0));
+        let s = g.accum(x, RateFsm::fixed(4));
+        g.output(s, OutPortId(6));
+        let mut p = RevelProgram::new("acc");
+        p.add_config(vec![Region::systolic("acc", g, 4)]);
+        let diags = run_lint(&super::OutPortWidth, &p, &single_lane());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

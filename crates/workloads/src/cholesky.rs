@@ -80,7 +80,11 @@ impl Cholesky {
 
     fn init(&self, lanes: usize) -> Vec<MemInit> {
         (0..lanes)
-            .map(|l| MemInit::Private { lane: l as u8, addr: self.a_base(), data: self.a(l as u64) })
+            .map(|l| MemInit::Private {
+                lane: l as u8,
+                addr: self.a_base(),
+                data: self.a(l as u64),
+            })
             .collect()
     }
 
@@ -191,7 +195,13 @@ impl Cholesky {
             // is -> vector region, reused for the whole L column (rem elems).
             push(
                 &mut prog,
-                StreamCommand::xfer(OutPortId(7), InPortId(4), 1, RateFsm::ONCE, RateFsm::fixed(rem)),
+                StreamCommand::xfer(
+                    OutPortId(7),
+                    InPortId(4),
+                    1,
+                    RateFsm::ONCE,
+                    RateFsm::fixed(rem),
+                ),
             );
             // Pivot row a[k, k:n] -> vector region.
             push(
@@ -260,15 +270,19 @@ impl Cholesky {
                     ),
                 );
                 // Trailing rows a[j, j:n] (triangular, in place).
-                let trail_pat =
-                    AffinePattern::two_d(diag + n + 1, 1, n + 1, trail, trail, -1);
+                let trail_pat = AffinePattern::two_d(diag + n + 1, 1, n + 1, trail, trail, -1);
                 push(
                     &mut prog,
                     StreamCommand::load(MemTarget::Private, trail_pat, InPortId(3), RateFsm::ONCE),
                 );
                 push(
                     &mut prog,
-                    StreamCommand::store(OutPortId(1), MemTarget::Private, trail_pat, RateFsm::ONCE),
+                    StreamCommand::store(
+                        OutPortId(1),
+                        MemTarget::Private,
+                        trail_pat,
+                        RateFsm::ONCE,
+                    ),
                 );
             }
             push(&mut prog, StreamCommand::BarrierScratch);
@@ -387,7 +401,13 @@ impl Cholesky {
             // is -> vector region; pivot row -> vector region; L -> shared.
             push(
                 &mut prog,
-                StreamCommand::xfer(OutPortId(7), InPortId(4), 1, RateFsm::ONCE, RateFsm::fixed(rem)),
+                StreamCommand::xfer(
+                    OutPortId(7),
+                    InPortId(4),
+                    1,
+                    RateFsm::ONCE,
+                    RateFsm::fixed(rem),
+                ),
             );
             push(
                 &mut prog,
@@ -528,12 +548,7 @@ impl Cholesky {
         // Memory: the first round buffer starts as A (in shared); lanes are
         // otherwise empty.
         let init = vec![MemInit::Shared { addr: self.ring_tbuf(0), data: self.a(0) }];
-        BuiltKernel {
-            program: prog,
-            init,
-            check: self.check_ring(),
-            lanes_used: cfg.num_lanes,
-        }
+        BuiltKernel { program: prog, init, check: self.check_ring(), lanes_used: cfg.num_lanes }
     }
 
     /// Pivot-row park buffer in each lane's private scratchpad.
@@ -694,8 +709,7 @@ impl Cholesky {
                             RateFsm::ONCE,
                         ),
                     );
-                    let trail_pat =
-                        AffinePattern::two_d(diag + n + 1, 1, n + 1, trail, trail, -1);
+                    let trail_pat = AffinePattern::two_d(diag + n + 1, 1, n + 1, trail, trail, -1);
                     bcast(
                         &mut prog,
                         StreamCommand::load(
@@ -751,8 +765,7 @@ impl Cholesky {
                                 RateFsm::ONCE,
                             ),
                         );
-                        let row_pat =
-                            AffinePattern::linear(diag + (n + 1) * (idx + 1), row_len);
+                        let row_pat = AffinePattern::linear(diag + (n + 1) * (idx + 1), row_len);
                         bcast(
                             &mut prog,
                             StreamCommand::load(

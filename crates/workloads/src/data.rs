@@ -6,17 +6,16 @@
 //! kernel's numerical requirements (SPD matrices for Cholesky, diagonally
 //! dominant triangular systems for the solver, …).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use revel_isa::Rng;
 
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(0x5EED_0000 ^ seed)
+fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(0x5EED_0000 ^ seed)
 }
 
 /// A vector of `n` values in (-1, 1).
 pub fn vector(n: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
+    (0..n).map(|_| r.gen_range_f64(-1.0, 1.0)).collect()
 }
 
 /// A dense row-major `rows × cols` matrix with entries in (-1, 1).
@@ -47,11 +46,8 @@ pub fn triangular_system(n: usize, seed: u64) -> Vec<f64> {
     let mut a = vec![0.0; n * n];
     for j in 0..n {
         for i in j..n {
-            a[j * n + i] = if i == j {
-                3.0 + r.gen_range(0.0..1.0)
-            } else {
-                r.gen_range(-0.4..0.4)
-            };
+            a[j * n + i] =
+                if i == j { 3.0 + r.gen_range_f64(0.0, 1.0) } else { r.gen_range_f64(-0.4, 0.4) };
         }
     }
     a

@@ -42,8 +42,7 @@ impl DepDistances {
         if self.distances.is_empty() {
             return 0.0;
         }
-        self.distances.iter().filter(|d| **d <= limit).count() as f64
-            / self.distances.len() as f64
+        self.distances.iter().filter(|d| **d <= limit).count() as f64 / self.distances.len() as f64
     }
 
     /// Median distance.
@@ -65,7 +64,7 @@ pub fn cholesky_distances(n: usize) -> DepDistances {
     for k in 0..n {
         let produced = ic;
         ic += 6; // inv, rsqrt sequences
-        // vector region (uses `is`)
+                 // vector region (uses `is`)
         ic += 2 * (n - k) as u64;
         // matrix region (uses `ia` throughout)
         for j in k + 1..n {
@@ -142,17 +141,10 @@ mod tests {
     fn kernels_have_kilo_instruction_spans() {
         // Fig. 6: for n around 24, most spans are hundreds to thousands of
         // instructions — too fine for threads, too coarse for registers.
-        for d in [
-            cholesky_distances(24),
-            qr_distances(24),
-            svd_distances(24),
-        ] {
+        for d in [cholesky_distances(24), qr_distances(24), svd_distances(24)] {
             assert!(!d.is_empty());
             let med = d.median();
-            assert!(
-                (50..20_000).contains(&med),
-                "median span {med} out of the expected range"
-            );
+            assert!((50..20_000).contains(&med), "median span {med} out of the expected range");
         }
         // The solver's spans are shorter (it is the finest-grained kernel).
         assert!(solver_distances(24).median() < 200);

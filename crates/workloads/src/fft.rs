@@ -117,7 +117,11 @@ impl Fft {
             self.input().into_iter().map(|(re, im)| pack_complex(re, im)).collect();
         let mut init = vec![MemInit::Shared { addr: 0, data: self.twiddles() }];
         for l in 0..lanes {
-            init.push(MemInit::Private { lane: l as u8, addr: self.x_base(), data: packed.clone() });
+            init.push(MemInit::Private {
+                lane: l as u8,
+                addr: self.x_base(),
+                data: packed.clone(),
+            });
         }
         init
     }
@@ -133,9 +137,7 @@ impl Fft {
                     let (re, im) = unpack_complex(*w);
                     let (er, ei) = expect[i];
                     if (re - er).abs() > 1e-4 * scale || (im - ei).abs() > 1e-4 * scale {
-                        return Err(format!(
-                            "lane {l}: X[{i}] = ({re}, {im}) != ({er}, {ei})"
-                        ));
+                        return Err(format!("lane {l}: X[{i}] = ({re}, {im}) != ({er}, {ei})"));
                     }
                 }
             }
@@ -214,11 +216,23 @@ impl Workload for Fft {
             };
             // Loads precede the in-place stores in program order so the
             // store→load scratchpad guard only orders across stages.
-            push(&mut prog, StreamCommand::load(MemTarget::Private, a_pat, InPortId(2), RateFsm::ONCE));
-            push(&mut prog, StreamCommand::load(MemTarget::Private, b_pat, InPortId(3), RateFsm::ONCE));
+            push(
+                &mut prog,
+                StreamCommand::load(MemTarget::Private, a_pat, InPortId(2), RateFsm::ONCE),
+            );
+            push(
+                &mut prog,
+                StreamCommand::load(MemTarget::Private, b_pat, InPortId(3), RateFsm::ONCE),
+            );
             push(&mut prog, StreamCommand::load(MemTarget::Shared, w_pat, InPortId(0), w_reuse));
-            push(&mut prog, StreamCommand::store(OutPortId(2), MemTarget::Private, a_pat, RateFsm::ONCE));
-            push(&mut prog, StreamCommand::store(OutPortId(3), MemTarget::Private, b_pat, RateFsm::ONCE));
+            push(
+                &mut prog,
+                StreamCommand::store(OutPortId(2), MemTarget::Private, a_pat, RateFsm::ONCE),
+            );
+            push(
+                &mut prog,
+                StreamCommand::store(OutPortId(3), MemTarget::Private, b_pat, RateFsm::ONCE),
+            );
             push(&mut prog, StreamCommand::BarrierScratch);
         }
         push(&mut prog, StreamCommand::Wait);
@@ -254,9 +268,8 @@ mod tests {
         }
         reference::fft(&mut interleaved);
         let bits = 6;
-        for i in 0..64 {
+        for (i, &(mr, mi)) in mirror.iter().enumerate() {
             let j = bitrev(i, bits);
-            let (mr, mi) = mirror[i];
             assert!(
                 (mr as f64 - interleaved[2 * j]).abs() < 1e-3
                     && (mi as f64 - interleaved[2 * j + 1]).abs() < 1e-3,

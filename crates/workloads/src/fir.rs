@@ -40,7 +40,7 @@ impl CentroFir {
     /// # Panics
     /// Panics if `n_out` is not a multiple of 4.
     pub fn new(taps: usize, n_out: usize, seed: u64) -> Self {
-        assert!(n_out % TILE == 0, "n_out must be a multiple of {TILE}");
+        assert!(n_out.is_multiple_of(TILE), "n_out must be a multiple of {TILE}");
         CentroFir { taps, n_out, seed }
     }
 
@@ -57,10 +57,7 @@ impl CentroFir {
     }
 
     fn out_per_lane(&self, lanes: usize) -> usize {
-        assert!(
-            self.n_out % (lanes * TILE) == 0,
-            "output must tile evenly across lanes"
-        );
+        assert!(self.n_out.is_multiple_of(lanes * TILE), "output must tile evenly across lanes");
         self.n_out / lanes
     }
 
@@ -91,7 +88,11 @@ impl CentroFir {
             let start = l * opl;
             let seg = x[start..start + self.seg_words(lanes)].to_vec();
             init.push(MemInit::Private { lane: l as u8, addr: self.x_base(), data: seg });
-            init.push(MemInit::Private { lane: l as u8, addr: self.c_base(lanes), data: cp.clone() });
+            init.push(MemInit::Private {
+                lane: l as u8,
+                addr: self.c_base(lanes),
+                data: cp.clone(),
+            });
         }
         init
     }
@@ -144,11 +145,9 @@ impl Workload for CentroFir {
         let acc = g.accum_vec(prod, RateFsm::fixed(pairs));
         g.output(acc, OutPortId(2));
         let region = match cfg.arch {
-            Arch::Dataflow => Region::temporal_unrolled(
-                "fir",
-                revel_compiler::add_fsm_overhead(&g, 1),
-                unroll,
-            ),
+            Arch::Dataflow => {
+                Region::temporal_unrolled("fir", revel_compiler::add_fsm_overhead(&g, 1), unroll)
+            }
             _ => Region::systolic("fir", g, unroll),
         };
 

@@ -45,7 +45,7 @@ impl Gemm {
     /// # Panics
     /// Panics unless `p` is a positive multiple of 8.
     pub fn new(m: usize, k: usize, p: usize, seed: u64) -> Self {
-        assert!(p > 0 && p % TILE == 0, "p must be a multiple of {TILE}");
+        assert!(p > 0 && p.is_multiple_of(TILE), "p must be a multiple of {TILE}");
         Gemm { m, k, p, seed }
     }
 
@@ -78,7 +78,7 @@ impl Gemm {
     fn tiles_per_lane(&self, lanes: usize) -> usize {
         let total = self.p / TILE;
         assert!(
-            total % lanes == 0,
+            total.is_multiple_of(lanes),
             "column tiles ({total}) must divide evenly across {lanes} lanes"
         );
         total / lanes
@@ -167,11 +167,9 @@ impl Workload for Gemm {
         let acc = g.accum_vec(prod, RateFsm::fixed(k));
         g.output(acc, OutPortId(0));
         let region = match cfg.arch {
-            Arch::Dataflow => Region::temporal_unrolled(
-                "mac",
-                revel_compiler::add_fsm_overhead(&g, 2),
-                unroll,
-            ),
+            Arch::Dataflow => {
+                Region::temporal_unrolled("mac", revel_compiler::add_fsm_overhead(&g, 2), unroll)
+            }
             _ => Region::systolic("mac", g, unroll),
         };
 

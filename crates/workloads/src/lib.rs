@@ -35,8 +35,8 @@ pub use fir::CentroFir;
 pub use gemm::Gemm;
 pub use qr::Qr;
 pub use solver::Solver;
-pub use svd::Svd;
 pub use suite::{
     apply_init, push_cmd, replicate_for_batch, run_built, run_workload, BuiltKernel, CheckFn,
     MemInit, Workload, WorkloadRun,
 };
+pub use svd::Svd;

@@ -26,8 +26,8 @@ use crate::suite::{push_cmd, BuiltKernel, MemInit, Workload};
 use revel_compiler::{Arch, BuildCfg, HOST_FP_OP_CYCLES, HOST_LOOP_CYCLES};
 use revel_dfg::{Dfg, OpCode, Region};
 use revel_isa::{
-    AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget,
-    OutPortId, RateFsm, StreamCommand,
+    AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
+    StreamCommand,
 };
 use std::rc::Rc;
 
@@ -114,11 +114,9 @@ impl Qr {
         let acc = dot.accum(prod, RateFsm::ONCE);
         dot.output(acc, OutPortId(2));
         match cfg.arch {
-            Arch::Dataflow => Region::temporal_unrolled(
-                "dot",
-                revel_compiler::add_fsm_overhead(&dot, 2),
-                unroll,
-            ),
+            Arch::Dataflow => {
+                Region::temporal_unrolled("dot", revel_compiler::add_fsm_overhead(&dot, 2), unroll)
+            }
             _ => Region::systolic("dot", dot, unroll),
         }
     }
@@ -188,12 +186,8 @@ impl Qr {
         } else {
             (Region::temporal("point", point), Region::temporal("scale", scale))
         };
-        let regions = vec![
-            self.dot_region(cfg, unroll),
-            self.update_region(cfg, unroll),
-            point_r,
-            scale_r,
-        ];
+        let regions =
+            vec![self.dot_region(cfg, unroll), self.update_region(cfg, unroll), point_r, scale_r];
 
         let mut prog = revel_sim::RevelProgram::new(format!("qr-n{}", self.n));
         let config = prog.add_config(regions);
@@ -287,13 +281,7 @@ impl Qr {
             // Column dots -> scale.
             push(
                 &mut prog,
-                StreamCommand::xfer(
-                    OutPortId(2),
-                    InPortId(8),
-                    trail,
-                    RateFsm::ONCE,
-                    RateFsm::ONCE,
-                ),
+                StreamCommand::xfer(OutPortId(2), InPortId(8), trail, RateFsm::ONCE, RateFsm::ONCE),
             );
             // Dot streams: v tail re-read per column; trailing columns.
             push(
@@ -333,12 +321,7 @@ impl Qr {
                 cfg,
                 lanes,
                 LaneScale::addr(64),
-                StreamCommand::load(
-                    MemTarget::Shared,
-                    s_pat,
-                    InPortId(5),
-                    RateFsm::fixed(trail),
-                ),
+                StreamCommand::load(MemTarget::Shared, s_pat, InPortId(5), RateFsm::fixed(trail)),
             );
             // Update streams: v tail re-read; trailing columns in place.
             push(

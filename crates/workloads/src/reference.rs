@@ -172,9 +172,8 @@ pub fn svd_singular_values(a: &[f64], n: usize, sweeps: usize) -> Vec<f64> {
     for _ in 0..sweeps {
         svd_sweep(&mut w, n);
     }
-    let mut sv: Vec<f64> = (0..n)
-        .map(|j| (0..n).map(|i| w[i * n + j] * w[i * n + j]).sum::<f64>().sqrt())
-        .collect();
+    let mut sv: Vec<f64> =
+        (0..n).map(|j| (0..n).map(|i| w[i * n + j] * w[i * n + j]).sum::<f64>().sqrt()).collect();
     sv.sort_by(|x, y| y.partial_cmp(x).unwrap());
     sv
 }
@@ -384,9 +383,7 @@ mod tests {
         let direct = centro_fir(&x, &c, 64);
         let cp = centro_pairs(&c);
         let paired: Vec<f64> = (0..64)
-            .map(|i| {
-                (0..cp.len()).map(|t| cp[t] * (x[i + t] + x[i + m - 1 - t])).sum::<f64>()
-            })
+            .map(|i| (0..cp.len()).map(|t| cp[t] * (x[i + t] + x[i + m - 1 - t])).sum::<f64>())
             .collect();
         for i in 0..64 {
             assert!((direct[i] - paired[i]).abs() < 1e-9, "y[{i}]");

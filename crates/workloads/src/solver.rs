@@ -16,9 +16,9 @@
 //! private scratchpad. Batch mode (`cfg.num_lanes > 1`) runs one
 //! independent system per lane from a single broadcast command stream.
 
+use crate::data;
 use crate::reference;
 use crate::suite::{push_cmd, BuiltKernel, MemInit, Workload};
-use crate::data;
 use revel_compiler::{Arch, BuildCfg, HOST_FP_OP_CYCLES, HOST_LOOP_CYCLES};
 use revel_dfg::{Dfg, OpCode, Region};
 use revel_isa::{

@@ -128,11 +128,8 @@ pub fn run_built(built: &BuiltKernel, cfg: &BuildCfg) -> Result<WorkloadRun, Sim
     let mut machine = Machine::new(cfg.machine_config(), cfg.sim_options());
     apply_init(&mut machine, &built.init);
     let report = machine.run(&built.program)?;
-    let verified = if report.timed_out {
-        Err("timed out".to_string())
-    } else {
-        (built.check)(&machine)
-    };
+    let verified =
+        if report.timed_out { Err("timed out".to_string()) } else { (built.check)(&machine) };
     Ok(WorkloadRun { cycles: report.cycles, report, verified })
 }
 

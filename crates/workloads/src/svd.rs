@@ -66,9 +66,8 @@ impl Svd {
     fn mirror(&self, lane: u64) -> Vec<f64> {
         let n = self.n;
         let mut a = self.a_col_major(lane);
-        let mut w: Vec<f64> = (0..n)
-            .map(|j| (0..n).map(|i| a[j * n + i] * a[j * n + i]).sum())
-            .collect();
+        let mut w: Vec<f64> =
+            (0..n).map(|j| (0..n).map(|i| a[j * n + i] * a[j * n + i]).sum()).collect();
         for _ in 0..self.sweeps {
             for p in 0..n - 1 {
                 for q in p + 1..n {
@@ -116,9 +115,8 @@ impl Svd {
         (0..lanes)
             .flat_map(|l| {
                 let a = self.a_col_major(l as u64);
-                let w: Vec<f64> = (0..n)
-                    .map(|j| (0..n).map(|i| a[j * n + i] * a[j * n + i]).sum())
-                    .collect();
+                let w: Vec<f64> =
+                    (0..n).map(|j| (0..n).map(|i| a[j * n + i] * a[j * n + i]).sum()).collect();
                 vec![
                     MemInit::Private { lane: l as u8, addr: self.a_base(), data: a },
                     MemInit::Shared { addr: self.w_base(l), data: w },
@@ -158,11 +156,9 @@ impl Svd {
         let acc = dot.accum(prod, RateFsm::ONCE);
         dot.output(acc, OutPortId(2));
         match cfg.arch {
-            Arch::Dataflow => Region::temporal_unrolled(
-                "dot",
-                revel_compiler::add_fsm_overhead(&dot, 2),
-                unroll,
-            ),
+            Arch::Dataflow => {
+                Region::temporal_unrolled("dot", revel_compiler::add_fsm_overhead(&dot, 2), unroll)
+            }
             _ => Region::systolic("dot", dot, unroll),
         }
     }
@@ -184,10 +180,7 @@ impl Svd {
         upd.output(newp, OutPortId(0));
         upd.output(newq, OutPortId(1));
         match cfg.arch {
-            Arch::Dataflow => Region::temporal(
-                "rotate",
-                revel_compiler::add_fsm_overhead(&upd, 2),
-            ),
+            Arch::Dataflow => Region::temporal("rotate", revel_compiler::add_fsm_overhead(&upd, 2)),
             _ => Region::systolic("rotate", upd, 1),
         }
     }
@@ -227,9 +220,7 @@ impl Svd {
         rot.output(wp, OutPortId(8));
         rot.output(wq, OutPortId(9));
         match cfg.arch {
-            Arch::Dataflow => {
-                Region::temporal("rot", revel_compiler::add_fsm_overhead(&rot, 3))
-            }
+            Arch::Dataflow => Region::temporal("rot", revel_compiler::add_fsm_overhead(&rot, 3)),
             _ => Region::temporal("rot", rot),
         }
     }
@@ -591,9 +582,7 @@ mod tests {
         let w = Svd::new(8, 6, 1);
         let a = w.mirror(0);
         let n = 8;
-        let dot = |p: usize, q: usize| -> f64 {
-            (0..n).map(|i| a[p * n + i] * a[q * n + i]).sum()
-        };
+        let dot = |p: usize, q: usize| -> f64 { (0..n).map(|i| a[p * n + i] * a[q * n + i]).sum() };
         let norm0 = dot(0, 0).sqrt();
         for p in 0..n - 1 {
             for q in p + 1..n {

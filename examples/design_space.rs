@@ -6,7 +6,7 @@
 
 use revel_core::compiler::{AblationStep, BuildCfg};
 use revel_core::fabric::CostModel;
-use revel_core::workloads::{run_workload, Qr, Workload};
+use revel_core::workloads::{run_workload, Qr};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);

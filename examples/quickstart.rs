@@ -1,6 +1,6 @@
 //! Quickstart: program the REVEL accelerator by hand.
 //!
-//! Builds a small kernel — scaled row-sums, `y[j] = s · Σ_i a[j][i]` — 
+//! Builds a small kernel — scaled row-sums, `y[j] = s · Σ_i a[j][i]` —
 //! straight against the public API: a vectorized dataflow graph, a fabric
 //! configuration, and a vector-stream control program; then runs it
 //! cycle-accurately and checks the numbers.
@@ -76,8 +76,7 @@ fn main() {
     let y = m.read_private(LaneId(0), n * n + 1, n as usize);
     let mut ok = true;
     for j in 0..n as usize {
-        let expect: f64 =
-            scale * (0..n as usize).map(|i| a_data[j * n as usize + i]).sum::<f64>();
+        let expect: f64 = scale * (0..n as usize).map(|i| a_data[j * n as usize + i]).sum::<f64>();
         if (y[j] - expect).abs() > 1e-9 {
             ok = false;
             eprintln!("mismatch at row {j}: {} vs {expect}", y[j]);
@@ -89,9 +88,6 @@ fn main() {
         report.commands_issued,
         if ok { "OK" } else { "FAILED" }
     );
-    println!(
-        "fabric utilization: {:.1}% of cycles issued work",
-        report.utilization() * 100.0
-    );
+    println!("fabric utilization: {:.1}% of cycles issued work", report.utilization() * 100.0);
     assert!(ok);
 }

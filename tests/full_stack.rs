@@ -49,11 +49,7 @@ fn inductive_kernels_gain_most_from_the_hybrid_fabric() {
 fn dataflow_baseline_pays_instruction_overhead_everywhere() {
     for b in Bench::suite_large() {
         let (r, _, d) = run_all(&b);
-        assert!(
-            d as f64 > 1.2 * r as f64,
-            "{}: dataflow {d} vs revel {r}",
-            b.name()
-        );
+        assert!(d as f64 > 1.2 * r as f64, "{}: dataflow {d} vs revel {r}", b.name());
     }
 }
 
@@ -61,12 +57,7 @@ fn dataflow_baseline_pays_instruction_overhead_everywhere() {
 fn revel_beats_the_dsp_model_on_every_kernel() {
     for b in Bench::suite_large() {
         let c = b.compare().expect("runs");
-        assert!(
-            c.speedup_vs_dsp() > 1.0,
-            "{}: {:.2}x",
-            b.name(),
-            c.speedup_vs_dsp()
-        );
+        assert!(c.speedup_vs_dsp() > 1.0, "{}: {:.2}x", b.name(), c.speedup_vs_dsp());
     }
 }
 
@@ -93,13 +84,10 @@ fn batch8_throughput_scales() {
 fn ablation_full_revel_is_strictly_better_than_base_on_inductive_kernels() {
     use revel_core::compiler::AblationStep;
     for b in [Bench::Cholesky { n: 24 }, Bench::Qr { n: 24 }, Bench::Solver { n: 24 }] {
-        let base = b
-            .run(&BuildCfg::ablation(AblationStep::Systolic, b.lanes()))
-            .expect("base");
+        let base = b.run(&BuildCfg::ablation(AblationStep::Systolic, b.lanes())).expect("base");
         base.assert_ok(b.name());
-        let full = b
-            .run(&BuildCfg::ablation(AblationStep::StreamPredication, b.lanes()))
-            .expect("full");
+        let full =
+            b.run(&BuildCfg::ablation(AblationStep::StreamPredication, b.lanes())).expect("full");
         full.assert_ok(b.name());
         // The solver is recurrence-latency-bound, so its gain is smaller
         // than the throughput-bound factorizations'.

@@ -1,0 +1,95 @@
+//! Cross-layer lint gate for the whole evaluation suite: every paper
+//! workload, built for every architecture, must come out of `revel-verify`
+//! with zero findings — not just zero errors. A warning on a suite kernel
+//! is either a kernel bug or a lint false positive; both deserve a red
+//! test.
+
+use revel_core::compiler::{AblationStep, BuildCfg};
+use revel_core::verify::{program_lints, Context, Verifier};
+use revel_core::Bench;
+
+fn assert_clean(bench: &Bench, cfg: &BuildCfg, label: &str) {
+    let diags = bench.lint(cfg);
+    assert!(
+        diags.is_empty(),
+        "{} ({label}) has lint findings:\n{}",
+        bench.name(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn suite_lints_clean_on_revel() {
+    for b in Bench::suite_small() {
+        assert_clean(&b, &BuildCfg::revel(b.lanes()), "revel");
+    }
+}
+
+#[test]
+fn suite_lints_clean_on_systolic_baseline() {
+    for b in Bench::suite_small() {
+        assert_clean(&b, &BuildCfg::systolic_baseline(b.lanes()), "systolic");
+    }
+}
+
+#[test]
+fn suite_lints_clean_on_dataflow_baseline() {
+    for b in Bench::suite_small() {
+        assert_clean(&b, &BuildCfg::dataflow_baseline(b.lanes()), "dataflow");
+    }
+}
+
+#[test]
+fn suite_lints_clean_on_ablation_ladder() {
+    for step in AblationStep::LADDER {
+        for b in Bench::suite_small() {
+            assert_clean(&b, &BuildCfg::ablation(step, b.lanes()), step.label());
+        }
+    }
+}
+
+#[test]
+fn large_suite_lints_clean_on_revel() {
+    for b in Bench::suite_large() {
+        assert_clean(&b, &BuildCfg::revel(b.lanes()), "revel");
+    }
+}
+
+/// Property over the whole suite: every lint individually reports nothing
+/// on every built kernel, and the lint context agrees with the build
+/// configuration about lane count.
+#[test]
+fn per_lint_property_over_suite() {
+    for b in Bench::suite_small() {
+        let cfg = BuildCfg::revel(b.lanes());
+        let built = b.workload().build(&cfg);
+        let machine_cfg = cfg.machine_config();
+        let ctx = Context::new(&built.program, &machine_cfg);
+        assert_eq!(ctx.lanes.len(), machine_cfg.num_lanes, "{}", b.name());
+        for lint in program_lints() {
+            let mut out = Vec::new();
+            lint.check(&ctx, &mut out);
+            assert!(out.is_empty(), "{} / {}: {out:#?}", b.name(), lint.name());
+        }
+    }
+}
+
+/// Mutation check at the suite level: breaking a real workload program in
+/// a representative way is caught by the verifier (the suite isn't lint-
+/// clean merely because the lints are vacuous).
+#[test]
+fn mutated_suite_program_is_flagged() {
+    let b = Bench::Solver { n: 12 };
+    let cfg = BuildCfg::revel(b.lanes());
+    let mut built = b.workload().build(&cfg);
+    // Drop every store: all out-ports become undrained (V003 at minimum).
+    built.program.control.retain(|step| {
+        !matches!(
+            step,
+            revel_core::sim::ControlStep::Command(vc)
+                if matches!(vc.cmd, revel_core::isa::StreamCommand::Store { .. })
+        )
+    });
+    let diags = Verifier::program_only().verify(&built.program, &cfg.machine_config());
+    assert!(!diags.is_empty(), "gutted solver program still lints clean");
+}
