@@ -1,0 +1,41 @@
+//! Evaluation-engine wall-clock: the scoped-thread job pool at 1 vs N
+//! workers (cache bypassed), then the run cache cold vs warm.
+//!
+//! On a multi-core host the jobs-N fan-out should approach a linear
+//! speedup over jobs-1; on a single core the two match (the pool adds
+//! negligible overhead). The warm pass shows what memoization buys every
+//! figure after the first: each comparison collapses to a map lookup.
+
+use revel_bench::harness::bench;
+use revel_core::compiler::BuildCfg;
+use revel_core::workloads::run_workload;
+use revel_core::{engine, experiments as ex, Bench};
+use std::time::Instant;
+
+fn main() {
+    let benches = Bench::suite_small();
+
+    // Pool fan-out with the cache bypassed, so every item simulates.
+    let auto = engine::jobs().max(2);
+    for jobs in [1, auto] {
+        let t0 = Instant::now();
+        let runs = engine::par_map_jobs(&benches, jobs, |b| {
+            run_workload(b.workload().as_ref(), &BuildCfg::revel(b.lanes())).expect("runs").cycles
+        });
+        println!(
+            "engine/suite-small-uncached-jobs{jobs}: {:.2?} total ({} kernels)",
+            t0.elapsed(),
+            runs.len()
+        );
+    }
+
+    // Cold: first full comparison set simulates 3 archs per kernel.
+    let t0 = Instant::now();
+    let comps = ex::run_comparisons(&benches);
+    println!("engine/compare-small-cold: {:.2?} total ({} comparisons)", t0.elapsed(), comps.len());
+
+    // Warm: identical call, all cache hits.
+    bench("engine", "compare-small-warm", || ex::run_comparisons(&benches).len());
+
+    println!("{}", engine::stats());
+}

@@ -3,6 +3,7 @@
 
 use revel_bench::harness::bench;
 use revel_core::compiler::BuildCfg;
+use revel_core::workloads::run_workload;
 use revel_core::Bench;
 
 fn main() {
@@ -13,7 +14,10 @@ fn main() {
         Bench::Gemm { m: 12, k: 16, p: 64 },
     ] {
         bench("sim", &format!("{}-{}", b.name(), b.params()), || {
-            let run = b.run(&BuildCfg::revel(b.lanes())).expect("runs");
+            // Bypass Bench::run's memoizing engine: this bench times the
+            // simulator itself, and a cache hit would time a clone.
+            let run =
+                run_workload(b.workload().as_ref(), &BuildCfg::revel(b.lanes())).expect("runs");
             assert!(!run.report.timed_out);
             run.cycles
         });

@@ -1,7 +1,30 @@
 //! Regenerates every table and figure of the paper's evaluation in one run.
-use revel_core::{experiments as ex, Bench};
+//!
+//! ```text
+//! all_experiments              # auto worker count (one per core)
+//! all_experiments --jobs 4    # explicit worker count; tables are
+//!                              # byte-identical for every setting
+//! ```
+//!
+//! Every figure generator pulls its simulations through the evaluation
+//! engine (`revel_core::engine`), so the large suite is simulated once and
+//! Fig. 8/19/23/25/Tab. VII all consume the same cached runs; the footer
+//! prints the cache counters as evidence.
+use revel_core::{engine, experiments as ex, Bench};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => engine::set_jobs(n),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
     println!("{}", ex::fig01_percent_ideal());
     println!("{}", ex::fig06_dep_distance());
     println!("{}", ex::fig07_taxonomy_area());
@@ -24,4 +47,14 @@ fn main() {
     println!("{}", ex::fig21_cpu_scaling());
     println!("{}", ex::fig22_ablation());
     println!("{}", ex::fig24_dpe_sensitivity());
+
+    // Counters are deterministic, so stdout stays byte-identical for every
+    // --jobs setting; the worker count goes to stderr.
+    println!("{}", engine::stats());
+    eprintln!("({} worker(s))", engine::jobs());
+}
+
+fn usage() -> ! {
+    eprintln!("usage: all_experiments [--jobs N]");
+    std::process::exit(2);
 }

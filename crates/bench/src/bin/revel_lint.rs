@@ -9,11 +9,17 @@
 //! revel_lint --arch all              # ... on REVEL + both baselines
 //! revel_lint --suite large           # Table V large sizes
 //! revel_lint --bench cholesky        # one kernel only
+//! revel_lint --jobs 4                # lint cells in parallel
 //! revel_lint --program-only          # skip the (slow) spatial compile
 //! revel_lint --explain V007          # what a code means and how to fix it
 //! ```
+//!
+//! Cells fan out on the evaluation engine's job pool ([`engine::par_map`])
+//! and full-verifier results come from its lint cache, so output order and
+//! content are identical for every `--jobs` setting.
 
 use revel_core::compiler::BuildCfg;
+use revel_core::engine;
 use revel_core::verify::{Code, Severity, Verifier};
 use revel_core::Bench;
 use std::time::Instant;
@@ -28,7 +34,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: revel_lint [--suite small|large] [--arch revel|systolic|dataflow|all] \
-         [--bench NAME] [--program-only] [--explain CODE]"
+         [--bench NAME] [--jobs N] [--program-only] [--explain CODE]"
     );
     std::process::exit(2);
 }
@@ -54,6 +60,10 @@ fn main() {
                 Some(v) => opts.bench = Some(v),
                 None => usage(),
             },
+            "--jobs" | "-j" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => engine::set_jobs(n),
+                None => usage(),
+            },
             "--program-only" => opts.program_only = true,
             "--explain" => match args.next() {
                 Some(v) => explain(&v),
@@ -77,43 +87,12 @@ fn main() {
         }],
     };
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    let mut linted = 0usize;
-    for bench in &benches {
-        if let Some(want) = &opts.bench {
-            if bench.name() != want {
-                continue;
-            }
-        }
-        linted += 1;
-        for arch in &archs {
-            let cfg = match *arch {
-                "revel" => BuildCfg::revel(bench.lanes()),
-                "systolic" => BuildCfg::systolic_baseline(bench.lanes()),
-                _ => BuildCfg::dataflow_baseline(bench.lanes()),
-            };
-            let started = Instant::now();
-            let built = bench.workload().build(&cfg);
-            let verifier =
-                if opts.program_only { Verifier::program_only() } else { Verifier::new() };
-            let diags = verifier.verify(&built.program, &cfg.machine_config());
-            let label = format!("{} ({}) [{arch}]", bench.name(), bench.params());
-            if diags.is_empty() {
-                println!("{label}: clean ({:.1?})", started.elapsed());
-            } else {
-                println!("{label}:");
-                for d in &diags {
-                    match d.severity() {
-                        Severity::Error => errors += 1,
-                        Severity::Warning => warnings += 1,
-                    }
-                    println!("  {d}");
-                }
-            }
-        }
-    }
-    if linted == 0 {
+    let selected: Vec<Bench> = benches
+        .iter()
+        .filter(|b| opts.bench.as_deref().is_none_or(|want| b.name() == want))
+        .copied()
+        .collect();
+    if selected.is_empty() {
         let known: Vec<&str> = benches.iter().map(|b| b.name()).collect();
         eprintln!(
             "no bench named '{}' (known: {})",
@@ -121,6 +100,44 @@ fn main() {
             known.join(", ")
         );
         std::process::exit(2);
+    }
+
+    let cells: Vec<(Bench, &str)> =
+        selected.iter().flat_map(|b| archs.iter().map(move |a| (*b, *a))).collect();
+    let program_only = opts.program_only;
+    // One lint per cell, fanned across the job pool; results come back in
+    // cell order so the report reads the same at any --jobs.
+    let reports = engine::par_map(&cells, |(bench, arch)| {
+        let cfg = match *arch {
+            "revel" => BuildCfg::revel(bench.lanes()),
+            "systolic" => BuildCfg::systolic_baseline(bench.lanes()),
+            _ => BuildCfg::dataflow_baseline(bench.lanes()),
+        };
+        let started = Instant::now();
+        let diags = if program_only {
+            let built = bench.workload().build(&cfg);
+            Verifier::program_only().verify(&built.program, &cfg.machine_config())
+        } else {
+            bench.lint(&cfg)
+        };
+        (format!("{} ({}) [{arch}]", bench.name(), bench.params()), diags, started.elapsed())
+    });
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (label, diags, elapsed) in &reports {
+        if diags.is_empty() {
+            println!("{label}: clean ({elapsed:.1?})");
+        } else {
+            println!("{label}:");
+            for d in diags {
+                match d.severity() {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                }
+                println!("  {d}");
+            }
+        }
     }
     if errors + warnings > 0 {
         println!("{errors} error(s), {warnings} warning(s)");

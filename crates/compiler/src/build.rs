@@ -60,7 +60,7 @@ impl AblationStep {
 /// Workload builders consult this to decide vectorization, region
 /// placement, and stream lowering; [`BuildCfg::machine_config`] derives the
 /// matching hardware model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BuildCfg {
     /// Target architecture.
     pub arch: Arch,

@@ -1,0 +1,312 @@
+//! The parallel, memoized evaluation engine.
+//!
+//! The paper's evaluation is a (workload × architecture × ablation) grid
+//! in which many cells repeat across figures: Fig. 8/19/23/25/Tab. VII all
+//! consume the same large-suite comparisons, and Fig. 20–24 re-simulate
+//! overlapping configurations. Each cell is also embarrassingly parallel —
+//! a cycle-level simulation touching only its own [`Machine`] — so this
+//! module provides the two mechanisms the harness and test suites share:
+//!
+//! * a **run cache** keyed by a `(Bench, BuildCfg)` fingerprint (plus the
+//!   batch-replication flag), so every distinct configuration is built,
+//!   annealed (`Machine::run`'s 2000-iteration simulated-annealing spatial
+//!   schedule), and simulated exactly once per process;
+//! * a **scoped-thread job pool** ([`par_map`]) fanning independent cells
+//!   across worker threads with *deterministic result ordering* — results
+//!   land in per-item slots, so tables are byte-identical to a serial run
+//!   regardless of `--jobs`.
+//!
+//! Determinism argument: the simulator is a pure function of
+//! `(program, init, SimOptions)` — its only ambient input, the
+//! `REVEL_SIM_DEBUG` variable, is read once per run and never changes
+//! results below the clamp — so caching and reordering execution cannot
+//! change any table cell. Workers only interleave *which* cell is computed
+//! when; each cell's value and its position in the output are fixed.
+//!
+//! The cache lives for the process (`OnceLock`), so within one
+//! `all_experiments` run or one test binary every repeated configuration
+//! is a hit; [`stats`] exposes the hit/miss counters the report footer
+//! prints.
+
+use crate::suite::{Bench, Comparison};
+use revel_compiler::BuildCfg;
+use revel_sim::SimError;
+use revel_workloads::{run_workload, WorkloadRun};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Cache key: one simulated configuration. `batch` distinguishes the
+/// batch-replicated build of a kernel from its batch-1 build *only* for
+/// kernels whose two builds differ (see [`Bench::batch_workload`]), so
+/// identical programs share one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RunKey {
+    bench: Bench,
+    cfg: BuildCfg,
+    batch: bool,
+}
+
+struct Engine {
+    runs: Mutex<HashMap<RunKey, WorkloadRun>>,
+    lints: Mutex<HashMap<(Bench, BuildCfg), Vec<revel_verify::Diagnostic>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine {
+        runs: Mutex::new(HashMap::new()),
+        lints: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Worker-thread count: 0 means "auto" (one per available core).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count for [`par_map`]. `0` restores the default
+/// (one worker per available core). Tables are byte-identical for every
+/// setting; only wall-clock changes.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker-thread count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on the engine's job pool, preserving order.
+///
+/// Scoped threads pull items off a shared index and write results into
+/// per-item slots, so the output `Vec` is ordered exactly as `items`
+/// regardless of scheduling. A panicking worker propagates its panic when
+/// the scope joins (verification failures stay loud under parallelism).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_jobs(items, jobs(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`1` = serial, no threads).
+pub fn par_map_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // A worker panic is caught and re-thrown on the caller's thread with
+    // its original payload (scope's own join panic would replace e.g. an
+    // assertion message with "a scoped thread panicked").
+    let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *slots[i].lock().expect("slot lock") = Some(r),
+                    Err(payload) => {
+                        let mut first = panic.lock().expect("panic slot");
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(payload) = panic.into_inner().expect("panic slot") {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("worker filled slot"))
+        .collect()
+}
+
+/// Runs `bench` under `cfg` through the run cache.
+///
+/// # Errors
+/// Propagates simulator errors (never cached; they fail identically on
+/// every attempt).
+pub(crate) fn run_cached(
+    bench: Bench,
+    cfg: &BuildCfg,
+    batch: bool,
+) -> Result<WorkloadRun, SimError> {
+    let key = RunKey { bench, cfg: *cfg, batch: batch && bench.batch_build_differs() };
+    let e = engine();
+    if let Some(run) = e.runs.lock().expect("run cache lock").get(&key) {
+        e.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(run.clone());
+    }
+    e.misses.fetch_add(1, Ordering::Relaxed);
+    let workload = if key.batch { bench.batch_workload() } else { bench.workload() };
+    let run = run_workload(workload.as_ref(), cfg)?;
+    e.runs.lock().expect("run cache lock").insert(key, run.clone());
+    Ok(run)
+}
+
+/// Runs REVEL and both spatial baselines for `bench` through the cache.
+///
+/// # Errors
+/// Propagates simulator errors; panics (via `assert_ok`) if any run fails
+/// numerical verification or timed out.
+pub(crate) fn compare_cached(bench: Bench) -> Result<Comparison, SimError> {
+    let lanes = bench.lanes();
+    let revel = run_cached(bench, &BuildCfg::revel(lanes), false)?;
+    revel.assert_ok(&format!("{} revel", bench.name()));
+    let systolic = run_cached(bench, &BuildCfg::systolic_baseline(lanes), false)?;
+    systolic.assert_ok(&format!("{} systolic", bench.name()));
+    let dataflow = run_cached(bench, &BuildCfg::dataflow_baseline(lanes), false)?;
+    dataflow.assert_ok(&format!("{} dataflow", bench.name()));
+    Ok(Comparison {
+        bench,
+        revel,
+        systolic_cycles: systolic.cycles,
+        dataflow_cycles: dataflow.cycles,
+    })
+}
+
+/// Lints `bench`'s build for `cfg` through the lint cache (the full
+/// verifier re-runs the spatial scheduler, so repeats are worth memoizing
+/// across the lint CLI and the test suites).
+pub(crate) fn lint_cached(bench: Bench, cfg: &BuildCfg) -> Vec<revel_verify::Diagnostic> {
+    let key = (bench, *cfg);
+    let e = engine();
+    if let Some(diags) = e.lints.lock().expect("lint cache lock").get(&key) {
+        e.hits.fetch_add(1, Ordering::Relaxed);
+        return diags.clone();
+    }
+    e.misses.fetch_add(1, Ordering::Relaxed);
+    let built = bench.workload().build(cfg);
+    let diags = revel_verify::Verifier::new().verify(&built.program, &cfg.machine_config());
+    e.lints.lock().expect("lint cache lock").insert(key, diags.clone());
+    diags
+}
+
+/// Cache counters for the report footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate (or lint) from scratch.
+    pub misses: u64,
+    /// Distinct simulated configurations currently cached.
+    pub run_entries: usize,
+    /// Distinct linted configurations currently cached.
+    pub lint_entries: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "evaluation cache: {} hit(s), {} miss(es) ({} sim + {} lint entries)",
+            self.hits, self.misses, self.run_entries, self.lint_entries
+        )
+    }
+}
+
+/// Snapshot of the engine's cache counters.
+pub fn stats() -> CacheStats {
+    let e = engine();
+    CacheStats {
+        hits: e.hits.load(Ordering::Relaxed),
+        misses: e.misses.load(Ordering::Relaxed),
+        run_entries: e.runs.lock().expect("run cache lock").len(),
+        lint_entries: e.lints.lock().expect("lint cache lock").len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_jobs(&items, 8, |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..33).collect();
+        let f = |x: &u64| x.wrapping_mul(2654435761).rotate_left(7);
+        assert_eq!(par_map_jobs(&items, 1, f), par_map_jobs(&items, 4, f));
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_jobs(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map_jobs(&[7u32], 4, |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..8).collect();
+        par_map_jobs(&items, 4, |i| {
+            if *i == 5 {
+                panic!("worker panic propagates");
+            }
+            *i
+        });
+    }
+
+    #[test]
+    fn run_cache_hits_on_repeat() {
+        let b = Bench::Solver { n: 12 };
+        let cfg = BuildCfg::revel(1);
+        let first = run_cached(b, &cfg, false).expect("runs");
+        let before = stats();
+        let second = run_cached(b, &cfg, false).expect("runs");
+        let after = stats();
+        assert_eq!(first.cycles, second.cycles);
+        assert!(after.hits > before.hits, "second lookup must hit: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let b = Bench::Solver { n: 12 };
+        let revel = run_cached(b, &BuildCfg::revel(1), false).expect("runs");
+        let systolic = run_cached(b, &BuildCfg::systolic_baseline(1), false).expect("runs");
+        assert_ne!(revel.cycles, systolic.cycles, "different archs must not share an entry");
+    }
+
+    #[test]
+    fn parallel_compare_matches_serial() {
+        // The determinism claim the whole engine rests on: fanned-out,
+        // cache-warmed comparisons equal fresh serial ones cycle-for-cycle.
+        let benches = [Bench::Solver { n: 12 }, Bench::Fft { n: 64 }];
+        let par = par_map_jobs(&benches, 2, |b| compare_cached(*b).expect("runs"));
+        for (b, c) in benches.iter().zip(&par) {
+            let serial = compare_cached(*b).expect("runs");
+            assert_eq!(c.revel.cycles, serial.revel.cycles, "{}", b.name());
+            assert_eq!(c.systolic_cycles, serial.systolic_cycles, "{}", b.name());
+            assert_eq!(c.dataflow_cycles, serial.dataflow_cycles, "{}", b.name());
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //!   analytical models);
 //! * [`experiments`] — one generator per paper table and figure, each
 //!   returning a formatted [`report::Table`];
+//! * [`engine`] — the parallel, memoized evaluation engine: a scoped-thread
+//!   job pool with deterministic result ordering plus a process-wide run
+//!   cache keyed by `(Bench, BuildCfg)`, shared by every figure generator
+//!   and test suite;
 //! * [`report`] — plain-text table rendering for the harness binaries.
 //!
 //! ```no_run
@@ -22,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod report;
 mod suite;

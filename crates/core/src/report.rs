@@ -38,16 +38,19 @@ impl Table {
     }
 
     /// Geometric mean of a numeric column (ignores unparsable cells).
-    pub fn geomean(&self, col: usize) -> f64 {
+    ///
+    /// Returns `None` when no cell in the column parses — an absent
+    /// measurement must never masquerade as a `0.0x` speedup.
+    pub fn geomean(&self, col: usize) -> Option<f64> {
         let vals: Vec<f64> = self
             .rows
             .iter()
             .filter_map(|r| r[col].trim_end_matches('x').parse::<f64>().ok())
             .collect();
         if vals.is_empty() {
-            return 0.0;
+            return None;
         }
-        (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+        Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
     }
 }
 
@@ -112,7 +115,16 @@ mod tests {
         let mut t = Table::new("T", &["k", "s"]);
         t.row(vec!["a".into(), "2.00x".into()]);
         t.row(vec!["b".into(), "8.00x".into()]);
-        assert!((t.geomean(1) - 4.0).abs() < 1e-9);
+        assert!((t.geomean(1).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_empty_or_unparsable_column_is_none() {
+        let empty = Table::new("T", &["k", "s"]);
+        assert_eq!(empty.geomean(1), None);
+        let mut words = Table::new("T", &["k", "s"]);
+        words.row(vec!["a".into(), "n/a".into()]);
+        assert_eq!(words.geomean(1), None);
     }
 
     #[test]

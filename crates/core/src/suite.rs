@@ -4,9 +4,7 @@
 use revel_compiler::BuildCfg;
 use revel_models::{asic, cpu, dsp, gpu};
 use revel_sim::SimError;
-use revel_workloads::{
-    run_workload, CentroFir, Cholesky, Fft, Gemm, Qr, Solver, Svd, Workload, WorkloadRun,
-};
+use revel_workloads::{CentroFir, Cholesky, Fft, Gemm, Qr, Solver, Svd, Workload, WorkloadRun};
 
 /// Jacobi sweeps used for the SVD benchmarks (the paper's `m` iteration
 /// parameter; kept small so cycle-level simulation stays fast — all
@@ -14,7 +12,9 @@ use revel_workloads::{
 pub const SVD_SWEEPS: usize = 2;
 
 /// One benchmark: a kernel instance plus its analytical comparison models.
-#[derive(Debug, Clone, Copy)]
+/// `Eq + Hash` so a `(Bench, BuildCfg)` pair can fingerprint a simulation
+/// in the evaluation engine's run cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bench {
     /// Triangular solver, batch-1 on one lane (Table V).
     Solver {
@@ -142,6 +142,13 @@ impl Bench {
         }
     }
 
+    /// True when [`Bench::batch_workload`] builds a different program than
+    /// [`Bench::workload`] (kept in lockstep with the match above, so the
+    /// run cache shares entries whenever the two builds are identical).
+    pub(crate) fn batch_build_differs(&self) -> bool {
+        matches!(self, Bench::Cholesky { .. })
+    }
+
     /// FLOPs per invocation.
     pub fn flops(&self) -> u64 {
         self.workload().flops()
@@ -200,40 +207,41 @@ impl Bench {
         }
     }
 
-    /// Runs the kernel on a build configuration (verified).
+    /// Runs the kernel on a build configuration (verified), through the
+    /// evaluation engine's process-wide run cache: the first call per
+    /// `(bench, cfg)` simulates, repeats are free.
     ///
     /// # Errors
     /// Propagates simulator errors.
     pub fn run(&self, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
-        run_workload(self.workload().as_ref(), cfg)
+        crate::engine::run_cached(*self, cfg, false)
+    }
+
+    /// [`Bench::run`] for the batch-semantics build (one independent
+    /// problem per lane, Figure 20); shares cache entries with `run`
+    /// whenever the batch build is identical.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn run_batch(&self, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
+        crate::engine::run_cached(*self, cfg, true)
     }
 
     /// Builds the kernel for `cfg` and runs every static lint over it,
-    /// including post-schedule legality. Empty result = clean.
+    /// including post-schedule legality, through the engine's lint cache.
+    /// Empty result = clean.
     pub fn lint(&self, cfg: &BuildCfg) -> Vec<revel_verify::Diagnostic> {
-        let built = self.workload().build(cfg);
-        revel_verify::Verifier::new().verify(&built.program, &cfg.machine_config())
+        crate::engine::lint_cached(*self, cfg)
     }
 
-    /// Runs REVEL and both spatial baselines, returning all comparisons.
+    /// Runs REVEL and both spatial baselines, returning all comparisons
+    /// (each run served by the evaluation engine's cache).
     ///
     /// # Errors
     /// Propagates simulator errors; panics (via `assert_ok`) if any run
     /// fails numerical verification.
     pub fn compare(&self) -> Result<Comparison, SimError> {
-        let lanes = self.lanes();
-        let revel = self.run(&BuildCfg::revel(lanes))?;
-        revel.assert_ok(&format!("{} revel", self.name()));
-        let systolic = self.run(&BuildCfg::systolic_baseline(lanes))?;
-        systolic.assert_ok(&format!("{} systolic", self.name()));
-        let dataflow = self.run(&BuildCfg::dataflow_baseline(lanes))?;
-        dataflow.assert_ok(&format!("{} dataflow", self.name()));
-        Ok(Comparison {
-            bench: *self,
-            revel,
-            systolic_cycles: systolic.cycles,
-            dataflow_cycles: dataflow.cycles,
-        })
+        crate::engine::compare_cached(*self)
     }
 }
 
@@ -286,13 +294,14 @@ impl Comparison {
     }
 }
 
-/// Geometric mean helper.
-pub(crate) fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+/// Geometric mean helper. `None` for an empty set — an absent measurement
+/// must never masquerade as a `0.0x` speedup.
+pub(crate) fn geomean(vals: impl IntoIterator<Item = f64>) -> Option<f64> {
     let v: Vec<f64> = vals.into_iter().collect();
     if v.is_empty() {
-        return 0.0;
+        return None;
     }
-    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    Some((v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -328,6 +337,25 @@ mod tests {
 
     #[test]
     fn geomean_works() {
-        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_empty_set_is_explicitly_absent() {
+        // Not 0.0: a figure with no rows has no speedup, and "0.0x" would
+        // read as "infinitely slower".
+        assert_eq!(geomean([]), None);
+    }
+
+    #[test]
+    fn repeated_comparisons_share_cached_runs() {
+        let b = Bench::cholesky_small();
+        let first = b.compare().unwrap();
+        let before = crate::engine::stats();
+        let second = b.compare().unwrap();
+        let after = crate::engine::stats();
+        assert_eq!(first.revel.cycles, second.revel.cycles);
+        assert_eq!(after.misses, before.misses, "repeat comparison must not re-simulate");
+        assert!(after.hits >= before.hits + 3, "all three arch runs served from cache");
     }
 }

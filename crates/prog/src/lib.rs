@@ -19,7 +19,7 @@ use revel_dfg::Region;
 use revel_fabric::{LaneConfig, RevelConfig};
 use revel_isa::{MemTarget, StreamCommand, VectorCommand};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Host memory view passed to [`HostOp`] closures: the control core can
 /// read and write the scratchpads directly (it is a general Von Neumann
@@ -47,8 +47,9 @@ pub struct HostOp {
     pub func: HostFn,
 }
 
-/// The callable body of a [`HostOp`].
-pub type HostFn = Rc<dyn Fn(&mut dyn HostMem)>;
+/// The callable body of a [`HostOp`]. `Send + Sync` so whole programs can
+/// move across (and be shared between) evaluation worker threads.
+pub type HostFn = Arc<dyn Fn(&mut dyn HostMem) + Send + Sync>;
 
 impl fmt::Debug for HostOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -194,8 +195,12 @@ impl RevelProgram {
     }
 
     /// Appends a host computation of `cycles` control-core cycles.
-    pub fn push_host(&mut self, cycles: u64, func: impl Fn(&mut dyn HostMem) + 'static) {
-        self.control.push(ControlStep::Host(HostOp { cycles, func: Rc::new(func) }));
+    pub fn push_host(
+        &mut self,
+        cycles: u64,
+        func: impl Fn(&mut dyn HostMem) + Send + Sync + 'static,
+    ) {
+        self.control.push(ControlStep::Host(HostOp { cycles, func: Arc::new(func) }));
     }
 
     /// Total number of control steps (the control-amortization metric).

@@ -224,8 +224,17 @@ impl Machine {
 
         let mut now = 0u64;
         let mut timed_out = false;
-        let max_cycles = if std::env::var("REVEL_SIM_DEBUG").is_ok() {
-            self.opts.max_cycles.min(2_000_000)
+        // Parse the debug switch once per run: `REVEL_SIM_DEBUG=0` (or
+        // empty/false/off/no) means *disabled* — merely being set must not
+        // flip behaviour, and the budget is never lowered silently.
+        let debug = sim_debug_enabled();
+        let max_cycles = if debug && self.opts.max_cycles > DEBUG_MAX_CYCLES {
+            eprintln!(
+                "revel-sim: REVEL_SIM_DEBUG active: clamping max_cycles {} -> {} for '{}' \
+                 (long runs will report timed_out; unset REVEL_SIM_DEBUG for full budgets)",
+                self.opts.max_cycles, DEBUG_MAX_CYCLES, program.name
+            );
+            DEBUG_MAX_CYCLES
         } else {
             self.opts.max_cycles
         };
@@ -235,7 +244,7 @@ impl Machine {
             }
             if now >= max_cycles {
                 timed_out = true;
-                if std::env::var("REVEL_SIM_DEBUG").is_ok() {
+                if debug {
                     self.dump_state(now, program);
                 }
                 break;
@@ -889,6 +898,27 @@ impl Machine {
     }
 }
 
+/// Cycle ceiling applied when `REVEL_SIM_DEBUG` is enabled, so a deadlock
+/// dump arrives in seconds instead of after the full 50M-cycle budget.
+const DEBUG_MAX_CYCLES: u64 = 2_000_000;
+
+/// True when `REVEL_SIM_DEBUG` is set to a truthy value. An unset variable
+/// and the conventional "off" spellings all disable debugging.
+fn sim_debug_enabled() -> bool {
+    std::env::var("REVEL_SIM_DEBUG").map(|v| env_truthy(&v)).unwrap_or(false)
+}
+
+/// Truthiness for debug-style environment variables: everything is enabled
+/// except the empty string and the usual negatives.
+fn env_truthy(v: &str) -> bool {
+    let v = v.trim();
+    !(v.is_empty()
+        || v == "0"
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("off")
+        || v.eq_ignore_ascii_case("no"))
+}
+
 /// A new stream may bind to an input port when the port is drained, or
 /// when leftover data is still flowing through under the trivial
 /// once-per-value rate and the new stream also uses it (the FIFO contents
@@ -924,5 +954,23 @@ fn classify(lane: &Lane, program_done: bool) -> CycleClass {
         CycleClass::CtrlOvhd
     } else {
         CycleClass::StreamDpd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::env_truthy;
+
+    #[test]
+    fn debug_env_truthiness() {
+        // The documented "off" spellings must not enable the debug clamp —
+        // REVEL_SIM_DEBUG=0 used to count as enabled and silently turned
+        // long runs into bogus timeouts.
+        for off in ["", "0", "false", "FALSE", "off", "Off", "no", " 0 "] {
+            assert!(!env_truthy(off), "{off:?} must disable debugging");
+        }
+        for on in ["1", "true", "yes", "2", "debug"] {
+            assert!(env_truthy(on), "{on:?} must enable debugging");
+        }
     }
 }

@@ -5,28 +5,33 @@ use revel_fabric::EventCounts;
 
 /// What a lane did (or was blocked on) during one cycle, in priority order.
 /// These are exactly the categories of the paper's Fig. 23.
+///
+/// The discriminants are the indices into [`CycleBreakdown`]'s count array
+/// (and match the position in [`CycleClass::ALL`]); `record`/`count` run
+/// per lane per cycle, so the mapping must stay O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum CycleClass {
     /// Two or more systolic regions fired this cycle.
-    MultiIssue,
+    MultiIssue = 0,
     /// Exactly one systolic region fired.
-    Issue,
+    Issue = 1,
     /// Only a temporal (dataflow-PE) instruction issued.
-    Temporal,
+    Temporal = 2,
     /// The fabric was draining for reconfiguration.
-    Drain,
+    Drain = 3,
     /// A stream wanted to move data but scratchpad bandwidth was exhausted.
-    ScrBw,
+    ScrBw = 4,
     /// Blocked on a scratchpad barrier.
-    ScrBarrier,
+    ScrBarrier = 5,
     /// Waiting on a dependence: a region's input port was empty while its
     /// producing stream had not delivered yet.
-    StreamDpd,
+    StreamDpd = 6,
     /// Waiting on the control core: no commands in the queue but the
     /// program was not finished.
-    CtrlOvhd,
+    CtrlOvhd = 7,
     /// Nothing to do (program finished or lane unused).
-    Idle,
+    Idle = 8,
 }
 
 impl CycleClass {
@@ -42,6 +47,12 @@ impl CycleClass {
         CycleClass::CtrlOvhd,
         CycleClass::Idle,
     ];
+
+    /// Index into [`CycleBreakdown`]'s count array (the discriminant).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
@@ -67,15 +78,15 @@ pub struct CycleBreakdown {
 
 impl CycleBreakdown {
     /// Records one cycle of the given class.
+    #[inline]
     pub fn record(&mut self, class: CycleClass) {
-        let idx = CycleClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
-        self.counts[idx] += 1;
+        self.counts[class.index()] += 1;
     }
 
     /// Cycles spent in a class.
+    #[inline]
     pub fn count(&self, class: CycleClass) -> u64 {
-        let idx = CycleClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
-        self.counts[idx]
+        self.counts[class.index()]
     }
 
     /// Total classified cycles.
@@ -185,5 +196,14 @@ mod tests {
     fn empty_fraction_is_zero() {
         let b = CycleBreakdown::default();
         assert_eq!(b.fraction(CycleClass::Issue), 0.0);
+    }
+
+    #[test]
+    fn class_index_matches_display_order() {
+        // `record`/`count` index the counts array by discriminant; the
+        // discriminants must stay aligned with the Fig. 23 stacking order.
+        for (i, c) in CycleClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
     }
 }

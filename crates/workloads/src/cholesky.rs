@@ -26,7 +26,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The Cholesky workload (Table V: n ∈ {12, 16, 24, 32}).
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +90,7 @@ impl Cholesky {
 
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let n = me.n;
             for l in 0..lanes {
                 let expect = reference::cholesky(&me.a(l as u64), n);
@@ -563,7 +563,7 @@ impl Cholesky {
 
     fn check_ring(&self) -> crate::suite::CheckFn {
         let me = *self;
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let n = me.n;
             let expect = reference::cholesky(&me.a(0), n);
             let got = machine.read_shared(me.l_base(), n * n);

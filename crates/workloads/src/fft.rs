@@ -23,7 +23,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 const VEC: usize = 4;
 
@@ -129,7 +129,7 @@ impl Fft {
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
         let expect = self.mirror();
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let scale = (me.n as f32).sqrt();
             for l in 0..lanes {
                 let out = machine.read_private(LaneId(l as u8), me.x_base(), me.n);

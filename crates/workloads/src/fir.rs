@@ -18,7 +18,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TILE: usize = 4;
 
@@ -100,7 +100,7 @@ impl CentroFir {
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
         let expect = reference::centro_fir(&self.signal(), &self.filter(), self.n_out);
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let opl = me.out_per_lane(lanes);
             for l in 0..lanes {
                 let y = machine.read_private(LaneId(l as u8), me.y_base(lanes), opl);

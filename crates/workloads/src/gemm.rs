@@ -22,7 +22,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TILE: usize = 8;
 
@@ -112,7 +112,7 @@ impl Gemm {
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
         let expect = reference::gemm(&self.a(), &self.b(), self.m, self.k, self.p);
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let tpl = me.tiles_per_lane(lanes);
             for l in 0..lanes {
                 let c = machine.read_shared(

@@ -29,7 +29,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The QR workload (Table V: n ∈ {12, 16, 24, 32}).
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +85,7 @@ impl Qr {
 
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let n = me.n;
             for l in 0..lanes {
                 let (_, r_ref) = reference::qr(&me.a_row_major(l as u64), n);

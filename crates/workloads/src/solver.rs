@@ -25,7 +25,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The triangular solver workload (Table V: n ∈ {12, 16, 24, 32}).
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +94,7 @@ impl Solver {
 
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             for l in 0..lanes {
                 let expect = me.expected(l as u64);
                 let x = machine.read_private(LaneId(l as u8), me.x_base(), me.n);

@@ -3,8 +3,8 @@
 
 use revel_compiler::{lower_command, BuildCfg};
 use revel_isa::{LaneId, LaneMask, LaneScale, StreamCommand, VectorCommand};
-use revel_sim::{ControlStep, Machine, RevelProgram, RunReport, SimError};
-use std::rc::Rc;
+use revel_sim::{ControlStep, Machine, RevelProgram, RunReport, SimError, SimOptions};
+use std::sync::Arc;
 
 /// Pushes a stream command into a program after architecture lowering:
 /// on builds without first-class inductive streams the command may expand
@@ -44,7 +44,9 @@ pub enum MemInit {
 }
 
 /// Verification callback: inspects machine memory after the run.
-pub type CheckFn = Rc<dyn Fn(&Machine) -> Result<(), String>>;
+/// `Send + Sync` so built kernels (and their runs) can fan out across the
+/// evaluation engine's worker threads.
+pub type CheckFn = Arc<dyn Fn(&Machine) -> Result<(), String> + Send + Sync>;
 
 /// A kernel compiled for a particular build configuration.
 #[derive(Clone)]
@@ -58,6 +60,16 @@ pub struct BuiltKernel {
     /// Lanes the program actually uses.
     pub lanes_used: usize,
 }
+
+// The evaluation engine fans built kernels and their runs out across
+// worker threads; losing either bound is a compile error here rather than
+// an inference failure at a distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BuiltKernel>();
+    assert_send_sync::<WorkloadRun>();
+    assert_send_sync::<Machine>();
+};
 
 impl std::fmt::Debug for BuiltKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -125,7 +137,22 @@ pub fn run_workload(workload: &dyn Workload, cfg: &BuildCfg) -> Result<WorkloadR
 /// # Errors
 /// Propagates simulator errors.
 pub fn run_built(built: &BuiltKernel, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
-    let mut machine = Machine::new(cfg.machine_config(), cfg.sim_options());
+    run_built_with(built, cfg, cfg.sim_options())
+}
+
+/// Runs an already-built kernel under explicit simulator options (e.g. a
+/// reduced cycle budget). A run that exhausts the budget is reported as
+/// `timed_out` with `verified: Err("timed out")` — never as a plausible
+/// cycle count.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_built_with(
+    built: &BuiltKernel,
+    cfg: &BuildCfg,
+    opts: SimOptions,
+) -> Result<WorkloadRun, SimError> {
+    let mut machine = Machine::new(cfg.machine_config(), opts);
     apply_init(&mut machine, &built.init);
     let report = machine.run(&built.program)?;
     let verified =
@@ -145,14 +172,19 @@ pub fn apply_init(machine: &mut Machine, init: &[MemInit]) {
     }
 }
 
-/// Replicates a single-lane kernel across `lanes` lanes (batch mode: each
-/// lane runs one independent input, Table V batch-8).
+/// Replicates a single-lane kernel across `lanes` lanes (batch throughput
+/// mode) with pure **broadcast** semantics: commands targeting lane 0 are
+/// re-masked to all lanes — one command drives every lane, the
+/// vector-stream amortization in space — and the private-memory image is
+/// cloned verbatim into every lane, so all lanes hold *identical* inputs
+/// and must produce identical outputs. Workloads that want distinct
+/// per-lane inputs build them natively from per-lane seeds (see e.g.
+/// `Solver::init`); this helper never reseeds.
 ///
-/// Commands targeting lane 0 are re-masked to all lanes (pure broadcast —
-/// one command drives every lane, the vector-stream amortization in space);
-/// private-memory initialization is replicated per lane with a fresh seed
-/// offset so lanes hold distinct inputs only when the builder provides
-/// per-lane data.
+/// Verification covers every lane: lane 0 is checked against the
+/// reference by the kernel's own check, then every other lane's private
+/// scratchpad must be bit-identical to lane 0's (identical program +
+/// identical inputs ⇒ identical outputs).
 ///
 /// # Panics
 /// Panics if the kernel is not single-lane.
@@ -177,14 +209,24 @@ pub fn replicate_for_batch(built: &BuiltKernel, lanes: usize) -> BuiltKernel {
         }
     }
     let inner_check = built.check.clone();
-    BuiltKernel {
-        program,
-        init,
-        // Lane 0 carries the reference data; verifying it suffices since
-        // all lanes execute identical programs on identical data.
-        check: inner_check,
-        lanes_used: lanes,
-    }
+    let check: CheckFn = Arc::new(move |machine: &Machine| {
+        inner_check(machine)?;
+        let words = machine.config().lane.spad_words;
+        let lane0 = machine.read_private(LaneId(0), 0, words);
+        for l in 1..lanes {
+            let got = machine.read_private(LaneId(l as u8), 0, words);
+            for (addr, (expect, g)) in lane0.iter().zip(&got).enumerate() {
+                if expect.to_bits() != g.to_bits() {
+                    return Err(format!(
+                        "batch lane {l} diverged from lane 0 at private word {addr}: \
+                         {g} != {expect}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+    BuiltKernel { program, init, check, lanes_used: lanes }
 }
 
 #[cfg(test)]
@@ -202,5 +244,50 @@ mod tests {
         };
         let run = WorkloadRun { cycles: 100, report, verified: Ok(()) };
         assert!((run.flops_per_cycle(400) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_as_timed_out() {
+        let w = crate::Solver::new(12, 1);
+        let cfg = BuildCfg::revel(1);
+        let built = w.build(&cfg);
+        let opts = SimOptions { max_cycles: 40, ..cfg.sim_options() };
+        let run = run_built_with(&built, &cfg, opts).expect("runs");
+        assert!(run.report.timed_out, "a starved budget must be reported as a timeout");
+        assert_eq!(run.verified, Err("timed out".to_string()));
+        assert!(run.cycles <= 40, "cycle count capped at the budget, got {}", run.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlocked")]
+    fn timed_out_run_panics_loudly_in_assert_ok() {
+        let w = crate::Solver::new(12, 1);
+        let cfg = BuildCfg::revel(1);
+        let built = w.build(&cfg);
+        let opts = SimOptions { max_cycles: 40, ..cfg.sim_options() };
+        let run = run_built_with(&built, &cfg, opts).expect("runs");
+        run.assert_ok("solver");
+    }
+
+    #[test]
+    fn replicated_batch_verifies_every_lane() {
+        // FFT is a pure-broadcast kernel: identical private data per lane,
+        // BROADCAST scaling on every command.
+        let w = crate::Fft::new(64, 1);
+        let cfg1 = BuildCfg::revel(1);
+        let built = w.build(&cfg1);
+        let batch = replicate_for_batch(&built, 4);
+        assert_eq!(batch.lanes_used, 4);
+        let cfg4 = BuildCfg::revel(4);
+        let mut machine = Machine::new(cfg4.machine_config(), cfg4.sim_options());
+        apply_init(&mut machine, &batch.init);
+        let report = machine.run(&batch.program).expect("runs");
+        assert!(!report.timed_out);
+        (batch.check)(&machine).expect("all lanes verify");
+        // Corrupt a non-reference lane: the batch check must notice (a
+        // lane-0-only check would silently pass).
+        machine.write_private(LaneId(3), 0, &[1234.5]);
+        let err = (batch.check)(&machine).expect_err("corrupted lane must fail verification");
+        assert!(err.contains("lane 3"), "diagnostic names the lane: {err}");
     }
 }

@@ -28,7 +28,7 @@ use revel_isa::{
     AffinePattern, ConfigId, InPortId, LaneId, LaneMask, LaneScale, MemTarget, OutPortId, RateFsm,
     StreamCommand,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The SVD workload (Table V: n ∈ {12, 16, 24, 32}; `sweeps` plays the
 /// paper's `m` iteration-count role).
@@ -127,7 +127,7 @@ impl Svd {
 
     fn check(&self, lanes: usize) -> crate::suite::CheckFn {
         let me = *self;
-        Rc::new(move |machine| {
+        Arc::new(move |machine| {
             let n = me.n;
             for l in 0..lanes {
                 let expect = me.mirror(l as u64);

@@ -2,6 +2,7 @@
 //! numerics and the paper's qualitative performance ordering.
 
 use revel_core::compiler::BuildCfg;
+use revel_core::engine;
 use revel_core::Bench;
 
 fn run_all(b: &Bench) -> (u64, u64, u64) {
@@ -9,18 +10,22 @@ fn run_all(b: &Bench) -> (u64, u64, u64) {
     (c.revel.cycles, c.systolic_cycles, c.dataflow_cycles)
 }
 
+/// Comparison cycles for every bench, fanned across the engine's job pool
+/// (and, after the first test that needs them, served from its run cache).
+fn run_suite(benches: &[Bench]) -> Vec<(Bench, (u64, u64, u64))> {
+    engine::par_map(benches, |b| (*b, run_all(b)))
+}
+
 #[test]
 fn all_kernels_verify_on_all_architectures_small() {
-    for b in Bench::suite_small() {
-        let (r, s, d) = run_all(&b);
+    for (b, (r, s, d)) in run_suite(&Bench::suite_small()) {
         assert!(r > 0 && s > 0 && d > 0, "{}", b.name());
     }
 }
 
 #[test]
 fn revel_never_loses_to_the_baselines() {
-    for b in Bench::suite_large() {
-        let (r, s, d) = run_all(&b);
+    for (b, (r, s, d)) in run_suite(&Bench::suite_large()) {
         assert!(r <= s, "{}: revel {r} vs systolic {s}", b.name());
         assert!(r <= d, "{}: revel {r} vs dataflow {d}", b.name());
     }
@@ -32,8 +37,7 @@ fn inductive_kernels_gain_most_from_the_hybrid_fabric() {
     // a large factor; the regular kernels (GEMM/FIR/FFT) by construction
     // run identically on both (dedicated PEs suffice) — exactly the
     // paper's taxonomy argument.
-    for b in Bench::suite_large() {
-        let (r, s, _) = run_all(&b);
+    for (b, (r, s, _)) in run_suite(&Bench::suite_large()) {
         let gain = s as f64 / r as f64;
         match b.name() {
             "cholesky" | "qr" => {
@@ -47,8 +51,7 @@ fn inductive_kernels_gain_most_from_the_hybrid_fabric() {
 
 #[test]
 fn dataflow_baseline_pays_instruction_overhead_everywhere() {
-    for b in Bench::suite_large() {
-        let (r, _, d) = run_all(&b);
+    for (b, (r, _, d)) in run_suite(&Bench::suite_large()) {
         assert!(d as f64 > 1.2 * r as f64, "{}: dataflow {d} vs revel {r}", b.name());
     }
 }

@@ -5,6 +5,7 @@
 //! test.
 
 use revel_core::compiler::{AblationStep, BuildCfg};
+use revel_core::engine;
 use revel_core::verify::{program_lints, Context, Verifier};
 use revel_core::Bench;
 
@@ -18,41 +19,49 @@ fn assert_clean(bench: &Bench, cfg: &BuildCfg, label: &str) {
     );
 }
 
+/// Fans one lint per bench across the engine's job pool (a worker panic —
+/// i.e. a lint finding — still fails the test at scope join).
+fn assert_suite_clean(benches: &[Bench], cfg_of: impl Fn(&Bench) -> BuildCfg + Sync, label: &str) {
+    engine::par_map(benches, |b| assert_clean(b, &cfg_of(b), label));
+}
+
 #[test]
 fn suite_lints_clean_on_revel() {
-    for b in Bench::suite_small() {
-        assert_clean(&b, &BuildCfg::revel(b.lanes()), "revel");
-    }
+    assert_suite_clean(&Bench::suite_small(), |b| BuildCfg::revel(b.lanes()), "revel");
 }
 
 #[test]
 fn suite_lints_clean_on_systolic_baseline() {
-    for b in Bench::suite_small() {
-        assert_clean(&b, &BuildCfg::systolic_baseline(b.lanes()), "systolic");
-    }
+    assert_suite_clean(
+        &Bench::suite_small(),
+        |b| BuildCfg::systolic_baseline(b.lanes()),
+        "systolic",
+    );
 }
 
 #[test]
 fn suite_lints_clean_on_dataflow_baseline() {
-    for b in Bench::suite_small() {
-        assert_clean(&b, &BuildCfg::dataflow_baseline(b.lanes()), "dataflow");
-    }
+    assert_suite_clean(
+        &Bench::suite_small(),
+        |b| BuildCfg::dataflow_baseline(b.lanes()),
+        "dataflow",
+    );
 }
 
 #[test]
 fn suite_lints_clean_on_ablation_ladder() {
     for step in AblationStep::LADDER {
-        for b in Bench::suite_small() {
-            assert_clean(&b, &BuildCfg::ablation(step, b.lanes()), step.label());
-        }
+        assert_suite_clean(
+            &Bench::suite_small(),
+            |b| BuildCfg::ablation(step, b.lanes()),
+            step.label(),
+        );
     }
 }
 
 #[test]
 fn large_suite_lints_clean_on_revel() {
-    for b in Bench::suite_large() {
-        assert_clean(&b, &BuildCfg::revel(b.lanes()), "revel");
-    }
+    assert_suite_clean(&Bench::suite_large(), |b| BuildCfg::revel(b.lanes()), "revel");
 }
 
 /// Property over the whole suite: every lint individually reports nothing
