@@ -1,25 +1,96 @@
-//! Simulator throughput: how fast the cycle-level model runs each kernel
-//! (wall-clock per simulated kernel invocation).
+//! Simulator throughput: the event-horizon kernel vs the reference stepper,
+//! and the memoized run pipeline vs the historical uncached one.
+//!
+//! For every cell this bench (1) cross-checks that both cycle loops produce
+//! bit-identical observable reports, (2) times each loop through the full
+//! `Machine::run` pipeline (lint + schedule caches warm, as in any repeated
+//! run), and (3) times one *uncached* pipeline pass — program lints plus a
+//! fresh 2000-iteration spatial anneal plus a reference-stepper run — which
+//! is what every single run cost before lint/schedule memoization. The long
+//! SVD/QR cells are the headline numbers: their stall regimes (dPE latency
+//! chains, reconfiguration drains) are where cycle skipping pays.
 
-use revel_bench::harness::bench;
+use revel_bench::harness::{bench_timed, fmt};
 use revel_core::compiler::BuildCfg;
-use revel_core::workloads::run_workload;
+use revel_core::fabric::Mesh;
+use revel_core::scheduler::SpatialScheduler;
+use revel_core::sim::SimOptions;
+use revel_core::workloads::{run_built_with, BuiltKernel};
 use revel_core::Bench;
+use std::time::{Duration, Instant};
+
+/// One pass of the pipeline every run paid before memoization: program
+/// lints, a fresh spatial anneal per config, and a reference-stepper run.
+fn uncached_pipeline(built: &BuiltKernel, cfg: &BuildCfg, ref_opts: SimOptions) -> Duration {
+    let machine_cfg = cfg.machine_config();
+    let t0 = Instant::now();
+    let diags = revel_core::verify::Verifier::program_only().verify(&built.program, &machine_cfg);
+    assert!(!revel_core::verify::has_errors(&diags));
+    let scheduler = SpatialScheduler::new(Mesh::for_lane(&machine_cfg.lane))
+        .with_dpe_slots(machine_cfg.lane.dpe_instr_slots)
+        .with_sa_iterations(2000);
+    for regions in &built.program.configs {
+        scheduler.schedule(regions).expect("schedules");
+    }
+    run_built_with(built, cfg, ref_opts).expect("runs");
+    t0.elapsed()
+}
 
 fn main() {
+    println!("sim throughput: event-horizon kernel vs reference stepper");
     for b in [
         Bench::Cholesky { n: 16 },
         Bench::Solver { n: 16 },
         Bench::Fft { n: 256 },
         Bench::Gemm { m: 12, k: 16, p: 64 },
+        Bench::Qr { n: 32 },
+        Bench::Svd { n: 32 },
     ] {
-        bench("sim", &format!("{}-{}", b.name(), b.params()), || {
-            // Bypass Bench::run's memoizing engine: this bench times the
-            // simulator itself, and a cache hit would time a clone.
-            let run =
-                run_workload(b.workload().as_ref(), &BuildCfg::revel(b.lanes())).expect("runs");
-            assert!(!run.report.timed_out);
-            run.cycles
-        });
+        let cfg = BuildCfg::revel(b.lanes());
+        // Build once; `run_built_with` bypasses the evaluation engine's run
+        // cache (a hit would time a clone), so each iteration times the
+        // cycle kernel plus the (memoized) lint and schedule lookups.
+        let built = b.workload().build(&cfg);
+        let fast_opts = SimOptions { reference_stepper: false, ..cfg.sim_options() };
+        let ref_opts = SimOptions { reference_stepper: true, ..cfg.sim_options() };
+
+        let fast = run_built_with(&built, &cfg, fast_opts).expect("runs");
+        let reference = run_built_with(&built, &cfg, ref_opts).expect("runs");
+        fast.assert_ok(b.name());
+        assert_eq!(
+            fast.report.observable(),
+            reference.report.observable(),
+            "{}: steppers diverged",
+            b.name()
+        );
+
+        let (t_fast, _) =
+            bench_timed(|| run_built_with(&built, &cfg, fast_opts).expect("runs").cycles);
+        let (t_ref, _) =
+            bench_timed(|| run_built_with(&built, &cfg, ref_opts).expect("runs").cycles);
+        let t_uncached = uncached_pipeline(&built, &cfg, ref_opts);
+
+        let cycles = fast.report.cycles;
+        let skipped = fast.report.stepper.skipped_cycles;
+        let cps = |t: Duration| cycles as f64 / t.as_secs_f64().max(1e-12);
+        println!(
+            "sim/{}-{}: {} cycles, {:.1}% skipped\n\
+             \x20 event-horizon {} ({:.2e} cyc/s) | reference {} ({:.2e} cyc/s) \
+             | stepper speedup {:.2}x\n\
+             \x20 uncached lint+anneal+reference pipeline {} ({:.2e} cyc/s) \
+             | pipeline speedup {:.1}x",
+            b.name(),
+            b.params(),
+            cycles,
+            100.0 * skipped as f64 / cycles.max(1) as f64,
+            fmt(t_fast),
+            cps(t_fast),
+            fmt(t_ref),
+            cps(t_ref),
+            t_ref.as_secs_f64() / t_fast.as_secs_f64().max(1e-12),
+            fmt(t_uncached),
+            cps(t_uncached),
+            t_uncached.as_secs_f64() / t_fast.as_secs_f64().max(1e-12),
+        );
     }
 }

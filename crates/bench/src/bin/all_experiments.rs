@@ -1,9 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation in one run.
 //!
 //! ```text
-//! all_experiments              # auto worker count (one per core)
-//! all_experiments --jobs 4    # explicit worker count; tables are
-//!                              # byte-identical for every setting
+//! all_experiments                      # auto worker count (one per core)
+//! all_experiments --jobs 4            # explicit worker count; tables are
+//!                                      # byte-identical for every setting
+//! all_experiments --reference-stepper # run every simulation on the naive
+//!                                      # cycle-by-cycle stepper (oracle mode)
 //! ```
 //!
 //! Every figure generator pulls its simulations through the evaluation
@@ -20,6 +22,7 @@ fn main() {
                 Some(n) => engine::set_jobs(n),
                 None => usage(),
             },
+            "--reference-stepper" => revel_core::sim::force_reference_stepper(true),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -48,13 +51,19 @@ fn main() {
     println!("{}", ex::fig22_ablation());
     println!("{}", ex::fig24_dpe_sensitivity());
 
-    // Counters are deterministic, so stdout stays byte-identical for every
-    // --jobs setting; the worker count goes to stderr.
+    // Counters (cache hits, simulated/skipped cycles, schedule-cache hits)
+    // are deterministic, so stdout stays byte-identical for every --jobs
+    // setting; wall-clock-dependent facts go to stderr.
     println!("{}", engine::stats());
+    // The schedule-cache hit/miss *split* can shift with worker
+    // interleaving (two workers racing one key both count a miss), so it
+    // reports on stderr, outside the byte-diffed stream.
+    let (sched_hits, sched_misses) = revel_core::sim::schedule_cache_stats();
+    eprintln!("(schedule cache: {sched_hits} hit(s), {sched_misses} miss(es))");
     eprintln!("({} worker(s))", engine::jobs());
 }
 
 fn usage() -> ! {
-    eprintln!("usage: all_experiments [--jobs N]");
+    eprintln!("usage: all_experiments [--jobs N] [--reference-stepper]");
     std::process::exit(2);
 }

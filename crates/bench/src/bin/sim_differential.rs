@@ -1,0 +1,139 @@
+//! The differential stepper gate: runs the full workload × architecture ×
+//! ablation grid under both cycle loops — the event-horizon kernel and the
+//! naive reference stepper — and byte-diffs their canonical observable
+//! reports. Any divergence prints both renderings and exits nonzero; this
+//! is the CI job that keeps the fast loop honest.
+//!
+//! ```text
+//! sim_differential            # full grid (small suite × all archs, large suite × revel)
+//! sim_differential --jobs 4   # explicit worker count
+//! ```
+
+use revel_core::compiler::{AblationStep, BuildCfg};
+use revel_core::engine;
+use revel_core::sim::SimOptions;
+use revel_core::workloads::run_built_with;
+use revel_core::Bench;
+
+/// One grid cell: a workload under a build configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Cell {
+    bench: Bench,
+    cfg: BuildCfg,
+    label: &'static str,
+}
+
+/// The grid: small suite × (three architectures + the Fig. 22 ablation
+/// ladder), deduplicated by `(bench, cfg)` — two ladder steps coincide with
+/// the revel and systolic builds — plus the large suite on revel (the long
+/// stall-heavy cells where skipping matters most).
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |cell: Cell, seen: &mut std::collections::HashSet<(Bench, BuildCfg)>| {
+        if seen.insert((cell.bench, cell.cfg)) {
+            cells.push(cell);
+        }
+    };
+    for b in Bench::suite_small() {
+        push(Cell { bench: b, cfg: BuildCfg::revel(b.lanes()), label: "revel" }, &mut seen);
+        push(
+            Cell { bench: b, cfg: BuildCfg::systolic_baseline(b.lanes()), label: "systolic" },
+            &mut seen,
+        );
+        push(
+            Cell { bench: b, cfg: BuildCfg::dataflow_baseline(b.lanes()), label: "dataflow" },
+            &mut seen,
+        );
+        for step in AblationStep::LADDER {
+            push(
+                Cell { bench: b, cfg: BuildCfg::ablation(step, b.lanes()), label: step.label() },
+                &mut seen,
+            );
+        }
+    }
+    for b in Bench::suite_large() {
+        push(Cell { bench: b, cfg: BuildCfg::revel(b.lanes()), label: "revel" }, &mut seen);
+    }
+    cells
+}
+
+/// Outcome of one cell: canonical texts from both steppers plus skip stats.
+struct Outcome {
+    cell: Cell,
+    fast_text: String,
+    ref_text: String,
+    cycles: u64,
+    skipped: u64,
+}
+
+fn run_cell(cell: &Cell) -> Outcome {
+    let built = cell.bench.workload().build(&cell.cfg);
+    let fast_opts = SimOptions { reference_stepper: false, ..cell.cfg.sim_options() };
+    let ref_opts = SimOptions { reference_stepper: true, ..cell.cfg.sim_options() };
+    let fast = run_built_with(&built, &cell.cfg, fast_opts).expect("simulates");
+    let reference = run_built_with(&built, &cell.cfg, ref_opts).expect("simulates");
+    Outcome {
+        cell: *cell,
+        fast_text: fast.report.canonical_text(),
+        ref_text: reference.report.canonical_text(),
+        cycles: fast.report.cycles,
+        skipped: fast.report.stepper.skipped_cycles,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => engine::set_jobs(n),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let cells = grid();
+    println!("sim-differential: {} grid cells, both steppers each", cells.len());
+    let outcomes = engine::par_map(&cells, run_cell);
+
+    let mut mismatches = 0usize;
+    let mut total_cycles = 0u64;
+    let mut total_skipped = 0u64;
+    for o in &outcomes {
+        let name = format!("{}-{} [{}]", o.cell.bench.name(), o.cell.bench.params(), o.cell.label);
+        total_cycles += o.cycles;
+        total_skipped += o.skipped;
+        if o.fast_text == o.ref_text {
+            println!(
+                "  ok {name}: {} cycles, {:.1}% skipped",
+                o.cycles,
+                100.0 * o.skipped as f64 / o.cycles.max(1) as f64
+            );
+        } else {
+            mismatches += 1;
+            println!("  MISMATCH {name}");
+            println!("  --- event-horizon ---\n{}", o.fast_text);
+            println!("  --- reference ---\n{}", o.ref_text);
+        }
+    }
+    println!(
+        "sim-differential: {}/{} cells identical; {} cycles total, {} skipped ({:.1}%)",
+        outcomes.len() - mismatches,
+        outcomes.len(),
+        total_cycles,
+        total_skipped,
+        100.0 * total_skipped as f64 / total_cycles.max(1) as f64
+    );
+    if mismatches > 0 {
+        eprintln!("sim-differential: {mismatches} cell(s) diverged");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: sim_differential [--jobs N]");
+    std::process::exit(2);
+}

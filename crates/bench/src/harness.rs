@@ -18,7 +18,15 @@ const SAMPLES: usize = 10;
 ///
 /// The closure's return value is passed through [`black_box`] so the
 /// compiler cannot delete the benchmarked work.
-pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+pub fn bench<R>(group: &str, name: &str, f: impl FnMut() -> R) {
+    let (median, iters) = bench_timed(f);
+    println!("{group}/{name}: {} per iter ({iters} iters x {SAMPLES} samples)", fmt(median));
+}
+
+/// Times `f` and returns `(median per-iteration wall-clock, iterations per
+/// sample)` without printing — for benches that post-process the timing
+/// (speedup ratios, throughput rates) instead of just reporting it.
+pub fn bench_timed<R>(mut f: impl FnMut() -> R) -> (Duration, u64) {
     // Warm-up & calibration: run until we have a per-iteration estimate.
     let mut calib_iters: u64 = 1;
     let per_iter = loop {
@@ -46,11 +54,11 @@ pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
         })
         .collect();
     samples.sort();
-    let median = samples[SAMPLES / 2];
-    println!("{group}/{name}: {} per iter ({iters} iters x {SAMPLES} samples)", fmt(median));
+    (samples[SAMPLES / 2], iters)
 }
 
-fn fmt(d: Duration) -> String {
+/// Formats a duration with an adaptive unit (`ns`/`us`/`ms`/`s`).
+pub fn fmt(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
         format!("{ns} ns")
@@ -71,5 +79,12 @@ mod tests {
     fn bench_runs_and_reports() {
         // Smoke test: must terminate quickly and not panic.
         bench("harness", "noop-sum", || (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn bench_timed_returns_positive_median() {
+        let (median, iters) = bench_timed(|| (0..1000u64).sum::<u64>());
+        assert!(iters >= 1);
+        assert!(median > Duration::ZERO);
     }
 }

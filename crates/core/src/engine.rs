@@ -52,6 +52,12 @@ struct Engine {
     lints: Mutex<HashMap<(Bench, BuildCfg), Vec<revel_verify::Diagnostic>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Machine-cycle accounting across all *distinct* cached runs. Counted
+    // at insert time (not at miss time): two workers racing on the same key
+    // both simulate, but only the entry that lands in the cache is counted,
+    // so the totals are deterministic for every --jobs setting.
+    sim_cycles: AtomicU64,
+    skipped_cycles: AtomicU64,
 }
 
 fn engine() -> &'static Engine {
@@ -61,6 +67,8 @@ fn engine() -> &'static Engine {
         lints: Mutex::new(HashMap::new()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
+        sim_cycles: AtomicU64::new(0),
+        skipped_cycles: AtomicU64::new(0),
     })
 }
 
@@ -163,7 +171,13 @@ pub(crate) fn run_cached(
     e.misses.fetch_add(1, Ordering::Relaxed);
     let workload = if key.batch { bench.batch_workload() } else { bench.workload() };
     let run = run_workload(workload.as_ref(), cfg)?;
-    e.runs.lock().expect("run cache lock").insert(key, run.clone());
+    if let std::collections::hash_map::Entry::Vacant(v) =
+        e.runs.lock().expect("run cache lock").entry(key)
+    {
+        e.sim_cycles.fetch_add(run.report.cycles, Ordering::Relaxed);
+        e.skipped_cycles.fetch_add(run.report.stepper.skipped_cycles, Ordering::Relaxed);
+        v.insert(run.clone());
+    }
     Ok(run)
 }
 
@@ -216,14 +230,40 @@ pub struct CacheStats {
     pub run_entries: usize,
     /// Distinct linted configurations currently cached.
     pub lint_entries: usize,
+    /// Machine cycles across all distinct cached runs (deterministic:
+    /// counted once per cache entry regardless of worker interleaving).
+    pub sim_cycles: u64,
+    /// Of [`CacheStats::sim_cycles`], cycles the event-horizon kernel
+    /// skipped rather than stepped (0 under `--reference-stepper`).
+    pub skipped_cycles: u64,
+}
+
+impl CacheStats {
+    /// Skipped cycles as a percentage of all simulated machine cycles.
+    pub fn skipped_pct(&self) -> f64 {
+        if self.sim_cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.skipped_cycles as f64 / self.sim_cycles as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
+        writeln!(
             f,
             "evaluation cache: {} hit(s), {} miss(es) ({} sim + {} lint entries)",
             self.hits, self.misses, self.run_entries, self.lint_entries
+        )?;
+        write!(
+            f,
+            "simulated {} machine cycles; {} stepped, {} skipped by the \
+             event-horizon kernel ({:.1}%)",
+            self.sim_cycles,
+            self.sim_cycles - self.skipped_cycles,
+            self.skipped_cycles,
+            self.skipped_pct()
         )
     }
 }
@@ -236,6 +276,8 @@ pub fn stats() -> CacheStats {
         misses: e.misses.load(Ordering::Relaxed),
         run_entries: e.runs.lock().expect("run cache lock").len(),
         lint_entries: e.lints.lock().expect("lint cache lock").len(),
+        sim_cycles: e.sim_cycles.load(Ordering::Relaxed),
+        skipped_cycles: e.skipped_cycles.load(Ordering::Relaxed),
     }
 }
 
@@ -286,6 +328,27 @@ mod tests {
         let after = stats();
         assert_eq!(first.cycles, second.cycles);
         assert!(after.hits > before.hits, "second lookup must hit: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn cycle_counters_track_distinct_runs() {
+        let before = stats();
+        let b = Bench::Gemm { m: 4, k: 4, p: 8 };
+        let cfg = BuildCfg::revel(1);
+        let run = run_cached(b, &cfg, false).expect("runs");
+        let after = stats();
+        // Lower bounds only: other tests in this binary run concurrently
+        // and may add their own cycles.
+        assert!(
+            after.sim_cycles >= before.sim_cycles + run.cycles,
+            "sim-cycle counter must grow by at least this run: {before:?} -> {after:?}"
+        );
+        assert!(after.skipped_cycles <= after.sim_cycles);
+        assert!(after.skipped_pct() >= 0.0 && after.skipped_pct() <= 100.0);
+        // A repeat is a hit and must not re-count cycles; assert indirectly
+        // by checking the entry count didn't change for this key.
+        let again = run_cached(b, &cfg, false).expect("runs");
+        assert_eq!(run.cycles, again.cycles);
     }
 
     #[test]

@@ -203,6 +203,15 @@ impl RevelConfig {
         cycles as f64 / self.clock_ghz
     }
 
+    /// The cycle at which a reconfiguration started at `now` completes.
+    ///
+    /// This is the fabric's contribution to the simulator's event horizon:
+    /// between `now` and the returned deadline a draining lane's observable
+    /// state cannot change, so a quiescent machine may skip straight to it.
+    pub fn reconfig_deadline(&self, now: u64) -> u64 {
+        now + self.reconfig_cycles
+    }
+
     /// Peak floating-point throughput in FLOP/cycle (one op per FU).
     pub fn peak_flops_per_cycle(&self) -> f64 {
         (self.lane.fu_mix.total() + self.lane.num_dataflow_pes) as f64 * self.num_lanes as f64
@@ -259,5 +268,11 @@ mod tests {
     #[test]
     fn single_lane_config() {
         assert_eq!(RevelConfig::single_lane().num_lanes, 1);
+    }
+
+    #[test]
+    fn reconfig_deadline_offsets_by_reconfig_cycles() {
+        let cfg = RevelConfig::paper_default();
+        assert_eq!(cfg.reconfig_deadline(100), 100 + cfg.reconfig_cycles);
     }
 }

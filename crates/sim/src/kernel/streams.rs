@@ -1,0 +1,293 @@
+//! Stream engines: sources (loads, consts) fill input ports under
+//! bandwidth budgets; drains (stores, XFERs) empty output ports; completed
+//! streams retire and free their ports.
+//!
+//! Progress tracking caveat: [`OutPort::pop_kept`] can mutate the port and
+//! still return `None` — a spent head vector (trailing predicated-off
+//! lanes, or values consumed by the discard FSM) is popped while scanning,
+//! freeing FIFO space that may unblock a region next cycle. A `None` from
+//! `pop_kept` therefore must not be read as "nothing happened"; the drain
+//! loops compare occupancy around the call instead.
+//!
+//! [`OutPort::pop_kept`]: crate::port::OutPort::pop_kept
+
+use crate::lane::{Lane, PatternWalker, StreamBody};
+use crate::machine::Machine;
+use revel_isa::MemTarget;
+
+impl Machine {
+    /// Moves data for source streams: loads (private + shared) and consts.
+    /// Returns `true` iff any word moved or a stream-end flush landed.
+    pub(crate) fn run_source_streams(&mut self, _now: u64) -> bool {
+        let mut progress = false;
+        let mut shared_budget = self.cfg.shared_spad_bw_words;
+        let num_lanes = self.lanes.len();
+        for li in 0..num_lanes {
+            let lane = &mut self.lanes[li];
+            let mut priv_budget = lane.cfg.spad_bw_words;
+            let mut const_budget = lane.cfg.xfer_bw_words;
+            // Snapshot of active store streams for store→load ordering: a
+            // load may not read an address an *older* store has yet to
+            // write (fine-grain scratchpad dependence tracking, which is
+            // what lets the paper's solver/Cholesky recirculate vectors
+            // through memory without full barriers).
+            let store_guards: Vec<(u64, MemTarget, PatternWalker, std::collections::HashSet<i64>)> =
+                lane.streams
+                    .iter()
+                    .filter_map(|s| match &s.body {
+                        StreamBody::Store { target, walker, written, .. } => {
+                            Some((s.seq, *target, walker.clone(), written.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+            let Lane { streams, in_ports, spad, events, .. } = lane;
+            let mut starved = false;
+            let mut sync_blocked = false;
+            for stream in streams.iter_mut() {
+                let seq = stream.seq;
+                match &mut stream.body {
+                    StreamBody::Load { target, walker, dst, flushed } => {
+                        let budget: &mut usize = match target {
+                            MemTarget::Private => &mut priv_budget,
+                            MemTarget::Shared => &mut shared_budget,
+                        };
+                        let port = &mut in_ports[*dst as usize];
+                        while let Some(elem) = walker.peek() {
+                            if *budget == 0 {
+                                starved = true;
+                                break;
+                            }
+                            if !port.can_accept() {
+                                break;
+                            }
+                            // Store→load ordering: a load may not read an
+                            // address an older store has yet to write. For
+                            // write-once (producer→consumer) streams the
+                            // load releases per element as soon as the
+                            // address is written; for in-place multi-pass
+                            // streams (the address was already written once
+                            // and will be rewritten) the load synchronizes
+                            // at row granularity — later rewrites are
+                            // anti-dependences ordered by the dataflow
+                            // itself.
+                            let blocked =
+                                store_guards.iter().any(|(sseq, starget, sw, written)| {
+                                    let mut sw = sw.clone();
+                                    *sseq < seq
+                                        && *starget == *target
+                                        && sw.remaining_contains(elem.offset)
+                                        && (!written.contains(&elem.offset)
+                                            || sw.current_row() <= elem.j)
+                                });
+                            if blocked {
+                                sync_blocked = true;
+                                break;
+                            }
+                            let val = match target {
+                                MemTarget::Private => spad.read_f64(elem.offset),
+                                MemTarget::Shared => self.shared.read_f64(elem.offset),
+                            };
+                            if !port.push_word(val, elem.last_in_row) {
+                                break;
+                            }
+                            walker.advance();
+                            *budget -= 1;
+                            progress = true;
+                            events.port_words += 1;
+                            match target {
+                                MemTarget::Private => events.spad_words += 1,
+                                MemTarget::Shared => events.shared_spad_words += 1,
+                            }
+                        }
+                        if walker.exhausted() && !*flushed {
+                            // `flush_at_stream_end` mutates nothing when it
+                            // returns false, so the transition is the only
+                            // progress case.
+                            *flushed = port.flush_at_stream_end();
+                            progress |= *flushed;
+                        }
+                    }
+                    StreamBody::Const { dst, values } => {
+                        let port = &mut in_ports[*dst as usize];
+                        while const_budget > 0 {
+                            let Some(v) = values.front() else { break };
+                            if !port.can_accept() || !port.push_word(*v, false) {
+                                break;
+                            }
+                            values.pop_front();
+                            const_budget -= 1;
+                            progress = true;
+                            events.port_words += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            lane.bw_starved |= starved;
+            lane.barrier_blocked |= sync_blocked;
+        }
+        progress
+    }
+
+    /// Moves data for drain streams: stores (private + shared), local
+    /// XFERs, and inter-lane XFERs. Returns `true` iff any output-port
+    /// state changed (including hidden pops of spent head vectors).
+    pub(crate) fn run_drain_streams(&mut self, _now: u64) -> bool {
+        let mut progress = false;
+        let mut shared_budget = self.cfg.shared_spad_bw_words;
+        let num_lanes = self.lanes.len();
+        // Stores and local xfers (single-lane).
+        for li in 0..num_lanes {
+            let lane = &mut self.lanes[li];
+            let mut priv_budget = lane.cfg.spad_bw_words;
+            let mut xfer_budget = lane.cfg.xfer_bw_words;
+            let Lane { streams, in_ports, out_ports, spad, events, .. } = lane;
+            let mut starved = false;
+            for stream in streams.iter_mut() {
+                match &mut stream.body {
+                    StreamBody::Store { src, target, walker, written } => {
+                        let budget: &mut usize = match target {
+                            MemTarget::Private => &mut priv_budget,
+                            MemTarget::Shared => &mut shared_budget,
+                        };
+                        let port = &mut out_ports[*src as usize];
+                        while let Some(elem) = walker.peek() {
+                            if *budget == 0 {
+                                if port.occupancy() > 0 {
+                                    starved = true;
+                                }
+                                break;
+                            }
+                            let occ_before = port.occupancy();
+                            let Some(v) = port.pop_kept() else {
+                                progress |= port.occupancy() != occ_before;
+                                break;
+                            };
+                            progress = true;
+                            written.insert(elem.offset);
+                            match target {
+                                MemTarget::Private => {
+                                    spad.write_f64(elem.offset, v);
+                                    events.spad_words += 1;
+                                }
+                                MemTarget::Shared => {
+                                    self.shared.write_f64(elem.offset, v);
+                                    events.shared_spad_words += 1;
+                                }
+                            }
+                            events.port_words += 1;
+                            walker.advance();
+                            *budget -= 1;
+                        }
+                    }
+                    StreamBody::XferLocal { src, dst, remaining, rows } => {
+                        let sp = *src as usize;
+                        let dp = *dst as usize;
+                        while *remaining > 0 && xfer_budget > 0 {
+                            if !in_ports[dp].can_accept() {
+                                break;
+                            }
+                            let occ_before = out_ports[sp].occupancy();
+                            let Some(v) = out_ports[sp].pop_kept() else {
+                                progress |= out_ports[sp].occupancy() != occ_before;
+                                break;
+                            };
+                            progress = true;
+                            let row_end = rows.step();
+                            let ok = in_ports[dp].push_word(v, row_end);
+                            debug_assert!(ok, "can_accept guaranteed space");
+                            *remaining -= 1;
+                            xfer_budget -= 1;
+                            events.bus_words += 2; // bus out + bus in
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            lane.bw_starved |= starved;
+        }
+        // Inter-lane XFERs (need two lanes mutably).
+        for li in 0..num_lanes {
+            let ri = (li + 1) % num_lanes;
+            if ri == li {
+                continue;
+            }
+            let (a, b) = if li < ri {
+                let (left, right) = self.lanes.split_at_mut(ri);
+                (&mut left[li], &mut right[0])
+            } else {
+                let (left, right) = self.lanes.split_at_mut(li);
+                (&mut right[0], &mut left[ri])
+            };
+            let mut budget = a.cfg.inter_lane_bw_words;
+            for stream in a.streams.iter_mut() {
+                if let StreamBody::XferRight { src, dst, remaining, rows } = &mut stream.body {
+                    let sp = *src as usize;
+                    let dp = *dst as usize;
+                    while *remaining > 0 && budget > 0 {
+                        if !b.in_ports[dp].can_accept() {
+                            break;
+                        }
+                        let occ_before = a.out_ports[sp].occupancy();
+                        let Some(v) = a.out_ports[sp].pop_kept() else {
+                            progress |= a.out_ports[sp].occupancy() != occ_before;
+                            break;
+                        };
+                        progress = true;
+                        let row_end = rows.step();
+                        let ok = b.in_ports[dp].push_word(v, row_end);
+                        debug_assert!(ok, "can_accept guaranteed space");
+                        *remaining -= 1;
+                        budget -= 1;
+                        a.events.bus_words += 2;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Removes completed streams and frees their ports. Returns `true` iff
+    /// any stream retired.
+    pub(crate) fn retire_streams(&mut self) -> bool {
+        let mut retired = false;
+        let num_lanes = self.lanes.len();
+        for li in 0..num_lanes {
+            let mut to_free_right: Vec<u8> = Vec::new();
+            {
+                let lane = &mut self.lanes[li];
+                let Lane { streams, in_busy, out_busy, .. } = lane;
+                streams.retain_mut(|s| {
+                    let done = match &mut s.body {
+                        StreamBody::Load { walker, flushed, .. } => walker.exhausted() && *flushed,
+                        StreamBody::Store { walker, .. } => walker.exhausted(),
+                        StreamBody::Const { values, .. } => values.is_empty(),
+                        StreamBody::XferLocal { remaining, .. }
+                        | StreamBody::XferRight { remaining, .. } => *remaining <= 0,
+                    };
+                    if done {
+                        retired = true;
+                        if let Some(p) = s.local_in_port() {
+                            in_busy[p as usize] = false;
+                        }
+                        if let Some(p) = s.local_out_port() {
+                            out_busy[p as usize] = false;
+                        }
+                        if let StreamBody::XferRight { dst, .. } = &s.body {
+                            to_free_right.push(*dst);
+                        }
+                    }
+                    !done
+                });
+            }
+            if !to_free_right.is_empty() {
+                let ri = (li + 1) % num_lanes;
+                for p in to_free_right {
+                    self.lanes[ri].in_busy[p as usize] = false;
+                }
+            }
+        }
+        retired
+    }
+}

@@ -1,9 +1,10 @@
 //! One REVEL vector lane: ports, active streams, region firing, and the
 //! triggered-instruction temporal executor.
 
+use crate::kernel::NextEvent;
 use crate::memory::Scratchpad;
 use crate::port::{InPort, OutPort};
-use crate::stats::CycleBreakdown;
+use crate::stats::{CycleBreakdown, CycleClass};
 use revel_dfg::{Dfg, DfgEvaluator, Node, OpCode, Region, RegionKind, VecVal};
 use revel_fabric::{EventCounts, LaneConfig};
 use revel_isa::{AffinePattern, MemTarget, OutPortId, PatternElem, PatternIter, RateFsm};
@@ -250,6 +251,15 @@ pub(crate) struct Lane {
     pub barrier_blocked: bool,
     pub dep_blocked: bool,
     pub draining: bool,
+    /// True if any component of this lane mutated state this cycle (set by
+    /// the step phases, reset with the other per-cycle flags). The
+    /// event-horizon loop may only skip ahead after a cycle in which no
+    /// lane progressed.
+    pub progressed: bool,
+    /// Classification of the most recently recorded cycle. A skipped stall
+    /// span repeats this class: the machine state the classifier reads is
+    /// unchanged across the span by the quiescence invariant.
+    pub last_class: CycleClass,
     /// Hardware stream-predication support (ablation knob).
     pub predication: bool,
 }
@@ -288,6 +298,8 @@ impl Lane {
             barrier_blocked: false,
             dep_blocked: false,
             draining: false,
+            progressed: false,
+            last_class: CycleClass::Idle,
             predication,
         }
     }
@@ -299,6 +311,7 @@ impl Lane {
         self.barrier_blocked = false;
         self.dep_blocked = false;
         self.draining = false;
+        self.progressed = false;
     }
 
     /// Applies a fabric configuration: installs regions with their
@@ -419,6 +432,7 @@ impl Lane {
     }
 
     fn fire_region(&mut self, r: usize, now: u64) {
+        self.progressed = true;
         let unroll = self.regions[r].region.unroll;
         let in_port_ids = self.regions[r].in_ports.clone();
         // The fire covers `fire_valid` logical inner-loop elements: the
@@ -511,6 +525,7 @@ impl Lane {
                 }
                 // Front exists: the `while let` just matched it.
                 let (_, outs) = self.regions[r].inflight.pop_front().expect("checked");
+                self.progressed = true;
                 for (p, v) in outs {
                     if v.any_valid() {
                         self.events.port_words += v.valid_count() as u64;
@@ -544,6 +559,7 @@ impl Lane {
                     inst.nodes[n].done_at = Some(now + lat + extra);
                     self.events.dpe_instrs += 1;
                     self.fired_temporal = true;
+                    self.progressed = true;
                     break 'instances;
                 }
             }
@@ -554,6 +570,7 @@ impl Lane {
         let out_ports = &mut self.out_ports;
         let events = &mut self.events;
         let mut blocked_regions: Vec<usize> = Vec::new();
+        let mut retired = false;
         self.instances.retain(|inst| {
             if blocked_regions.contains(&inst.region) {
                 return true;
@@ -574,8 +591,54 @@ impl Lane {
                     out_ports[p.0 as usize].push(*v);
                 }
             }
+            retired = true;
             false
         });
+        self.progressed |= retired;
+    }
+}
+
+impl NextEvent for RegionState {
+    fn next_event(&self, after: u64) -> Option<u64> {
+        // A region's only pure timers are its firing interval and the
+        // maturation of its oldest in-flight result (delivery is in-order,
+        // so later entries cannot act before the front).
+        let mut next = (self.next_fire > after).then_some(self.next_fire);
+        if let Some((ready, _)) = self.inflight.front() {
+            if *ready > after {
+                next = Some(next.map_or(*ready, |n| n.min(*ready)));
+            }
+        }
+        next
+    }
+}
+
+impl NextEvent for TempInstance {
+    fn next_event(&self, after: u64) -> Option<u64> {
+        // A dPE instruction issues when its argument instructions have
+        // completed; completions are the only timers in the executor.
+        self.nodes.iter().filter_map(|n| n.done_at).filter(|d| *d > after).min()
+    }
+}
+
+impl NextEvent for Lane {
+    fn next_event(&self, after: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |c: Option<u64>| {
+            if let Some(c) = c {
+                next = Some(next.map_or(c, |n| n.min(c)));
+            }
+        };
+        if self.reconfig_until > after {
+            fold(Some(self.reconfig_until));
+        }
+        for r in &self.regions {
+            fold(r.next_event(after));
+        }
+        for i in &self.instances {
+            fold(i.next_event(after));
+        }
+        next
     }
 }
 

@@ -54,17 +54,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernel;
 mod lane;
 mod machine;
 mod memory;
 mod port;
+mod snapshot;
 mod stats;
 
-pub use machine::{Machine, SimError, SimOptions};
+pub use kernel::NextEvent;
+pub use machine::{force_reference_stepper, schedule_cache_stats, Machine, SimError, SimOptions};
 pub use memory::Scratchpad;
 pub use port::{InPort, OutPort};
 // The program representation lives in `revel-prog` (so the static verifier
 // can analyze programs without depending on the simulator); re-exported here
 // for backward compatibility.
 pub use revel_prog::{ControlStep, HostMem, HostOp, ProgramError, RevelProgram};
-pub use stats::{CycleBreakdown, CycleClass, RunReport};
+pub use snapshot::{DeadlockSnapshot, LaneSnapshot, RegionSnapshot};
+pub use stats::{CycleBreakdown, CycleClass, ObservableReport, RunReport, StepperStats};

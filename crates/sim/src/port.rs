@@ -146,11 +146,14 @@ impl InPort {
     }
 
     /// Retries any deferred staging flush; called once per cycle by the
-    /// lane so stalled producers cannot strand staged data.
-    pub fn tick(&mut self) {
+    /// lane so stalled producers cannot strand staged data. Returns `true`
+    /// iff the flush landed this call (i.e. port state changed).
+    pub fn tick(&mut self) -> bool {
         if self.pending_flush && self.flush_staged() {
             self.pending_flush = false;
+            return true;
         }
+        false
     }
 
     /// True when the currently bound reuse FSM is the trivial

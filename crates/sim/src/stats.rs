@@ -1,7 +1,9 @@
 //! Cycle-level statistics: the bottleneck taxonomy of Fig. 23 plus event
 //! counters for the power model.
 
+use crate::snapshot::DeadlockSnapshot;
 use revel_fabric::EventCounts;
+use std::fmt::Write as _;
 
 /// What a lane did (or was blocked on) during one cycle, in priority order.
 /// These are exactly the categories of the paper's Fig. 23.
@@ -83,6 +85,18 @@ impl CycleBreakdown {
         self.counts[class.index()] += 1;
     }
 
+    /// Records `n` consecutive cycles of the given class in O(1).
+    ///
+    /// The event-horizon loop uses this to account for a skipped stall
+    /// span; it must be indistinguishable from calling [`record`] `n`
+    /// times (pinned by a regression test).
+    ///
+    /// [`record`]: CycleBreakdown::record
+    #[inline]
+    pub fn record_span(&mut self, class: CycleClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
     /// Cycles spent in a class.
     #[inline]
     pub fn count(&self, class: CycleClass) -> u64 {
@@ -119,7 +133,24 @@ impl CycleBreakdown {
     }
 }
 
+/// How the run loop spent (or skipped) host work. Pure measurement of the
+/// simulator itself — deliberately *not* part of the observable report,
+/// because the reference stepper skips nothing by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepperStats {
+    /// Machine cycles the event-horizon loop advanced past without
+    /// stepping (their breakdown classes were bulk-recorded).
+    pub skipped_cycles: u64,
+    /// Number of distinct horizon jumps (each covers ≥1 skipped cycle).
+    pub horizon_jumps: u64,
+}
+
 /// The report returned by a simulation run.
+///
+/// Deliberately does **not** derive `PartialEq`: the event-horizon loop and
+/// the reference stepper differ in [`RunReport::stepper`] by design, so
+/// whole-struct equality would be a trap. Compare runs with
+/// [`RunReport::observable`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Total cycles from start to completion.
@@ -133,6 +164,29 @@ pub struct RunReport {
     /// True if the run hit the cycle limit before completing (deadlock or
     /// runaway program).
     pub timed_out: bool,
+    /// Machine state at timeout (`Some` iff [`RunReport::timed_out`]).
+    pub deadlock: Option<DeadlockSnapshot>,
+    /// Host-side loop accounting (not architecturally observable).
+    pub stepper: StepperStats,
+}
+
+/// The architecturally observable slice of a [`RunReport`]: every field
+/// both steppers must agree on bit-for-bit. Borrowed views keep the
+/// comparison allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservableReport<'a> {
+    /// Total cycles from start to completion.
+    pub cycles: u64,
+    /// Per-lane cycle breakdowns.
+    pub lane_breakdown: &'a [CycleBreakdown],
+    /// Aggregate event counts.
+    pub events: &'a EventCounts,
+    /// Stream commands issued by the control core.
+    pub commands_issued: u64,
+    /// True if the run hit the cycle limit.
+    pub timed_out: bool,
+    /// Machine state at timeout, if any.
+    pub deadlock: Option<&'a DeadlockSnapshot>,
 }
 
 impl RunReport {
@@ -153,6 +207,44 @@ impl RunReport {
         } else {
             total.busy() as f64 / total.total() as f64
         }
+    }
+
+    /// The slice of the report both steppers must reproduce identically.
+    pub fn observable(&self) -> ObservableReport<'_> {
+        ObservableReport {
+            cycles: self.cycles,
+            lane_breakdown: &self.lane_breakdown,
+            events: &self.events,
+            commands_issued: self.commands_issued,
+            timed_out: self.timed_out,
+            deadlock: self.deadlock.as_ref(),
+        }
+    }
+
+    /// Canonical text rendering of the observable state, suitable for
+    /// byte-for-byte diffing in the `sim-differential` CI job. Every field
+    /// here is deterministic (derived `Debug` on plain structs; no hash
+    /// containers).
+    pub fn canonical_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "cycles={}", self.cycles);
+        let _ = writeln!(s, "commands_issued={}", self.commands_issued);
+        let _ = writeln!(s, "timed_out={}", self.timed_out);
+        let _ = writeln!(s, "events={:?}", self.events);
+        for (i, b) in self.lane_breakdown.iter().enumerate() {
+            let _ = write!(s, "lane{i}:");
+            for c in CycleClass::ALL {
+                let _ = write!(s, " {}={}", c.label(), b.count(c));
+            }
+            s.push('\n');
+        }
+        match &self.deadlock {
+            None => s.push_str("deadlock=none\n"),
+            Some(d) => {
+                let _ = write!(s, "{d}");
+            }
+        }
+        s
     }
 }
 
@@ -196,6 +288,62 @@ mod tests {
     fn empty_fraction_is_zero() {
         let b = CycleBreakdown::default();
         assert_eq!(b.fraction(CycleClass::Issue), 0.0);
+    }
+
+    /// Pins the bulk-recording contract of the event-horizon loop: a span
+    /// of `n` skipped cycles must account identically to `n` individually
+    /// recorded cycles, for every class.
+    #[test]
+    fn record_span_equals_repeated_record() {
+        for class in CycleClass::ALL {
+            for n in [0u64, 1, 2, 7, 1_000_003] {
+                let mut spanned = CycleBreakdown::default();
+                spanned.record(CycleClass::Issue); // pre-existing state
+                let mut looped = spanned.clone();
+                spanned.record_span(class, n);
+                for _ in 0..n.min(10_000) {
+                    looped.record(class);
+                }
+                if n <= 10_000 {
+                    assert_eq!(spanned, looped, "class={class:?} n={n}");
+                } else {
+                    // Too large to loop: check the count arithmetic alone.
+                    assert_eq!(
+                        spanned.count(class),
+                        looped.count(class) + (n - 10_000),
+                        "class={class:?} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn report(cycles: u64, skipped: u64) -> RunReport {
+        let mut b = CycleBreakdown::default();
+        b.record(CycleClass::Issue);
+        RunReport {
+            cycles,
+            lane_breakdown: vec![b],
+            events: EventCounts::default(),
+            commands_issued: 3,
+            timed_out: false,
+            deadlock: None,
+            stepper: StepperStats { skipped_cycles: skipped, horizon_jumps: skipped.min(1) },
+        }
+    }
+
+    /// Stepper accounting must not leak into the observable comparison:
+    /// two runs that differ only in skipped-cycle stats are observably
+    /// identical.
+    #[test]
+    fn observable_ignores_stepper_stats() {
+        let a = report(10, 0);
+        let b = report(10, 7);
+        assert_eq!(a.observable(), b.observable());
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        let c = report(11, 7);
+        assert_ne!(a.observable(), c.observable());
+        assert_ne!(a.canonical_text(), c.canonical_text());
     }
 
     #[test]

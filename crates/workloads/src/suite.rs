@@ -241,6 +241,8 @@ mod tests {
             events: Default::default(),
             commands_issued: 1,
             timed_out: false,
+            deadlock: None,
+            stepper: Default::default(),
         };
         let run = WorkloadRun { cycles: 100, report, verified: Ok(()) };
         assert!((run.flops_per_cycle(400) - 4.0).abs() < 1e-12);
