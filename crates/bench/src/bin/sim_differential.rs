@@ -9,54 +9,10 @@
 //! sim_differential --jobs 4   # explicit worker count
 //! ```
 
-use revel_core::compiler::{AblationStep, BuildCfg};
+use revel_bench::grid::{evaluation_grid, Cell};
 use revel_core::engine;
 use revel_core::sim::SimOptions;
 use revel_core::workloads::run_built_with;
-use revel_core::Bench;
-
-/// One grid cell: a workload under a build configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Cell {
-    bench: Bench,
-    cfg: BuildCfg,
-    label: &'static str,
-}
-
-/// The grid: small suite × (three architectures + the Fig. 22 ablation
-/// ladder), deduplicated by `(bench, cfg)` — two ladder steps coincide with
-/// the revel and systolic builds — plus the large suite on revel (the long
-/// stall-heavy cells where skipping matters most).
-fn grid() -> Vec<Cell> {
-    let mut cells = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    let mut push = |cell: Cell, seen: &mut std::collections::HashSet<(Bench, BuildCfg)>| {
-        if seen.insert((cell.bench, cell.cfg)) {
-            cells.push(cell);
-        }
-    };
-    for b in Bench::suite_small() {
-        push(Cell { bench: b, cfg: BuildCfg::revel(b.lanes()), label: "revel" }, &mut seen);
-        push(
-            Cell { bench: b, cfg: BuildCfg::systolic_baseline(b.lanes()), label: "systolic" },
-            &mut seen,
-        );
-        push(
-            Cell { bench: b, cfg: BuildCfg::dataflow_baseline(b.lanes()), label: "dataflow" },
-            &mut seen,
-        );
-        for step in AblationStep::LADDER {
-            push(
-                Cell { bench: b, cfg: BuildCfg::ablation(step, b.lanes()), label: step.label() },
-                &mut seen,
-            );
-        }
-    }
-    for b in Bench::suite_large() {
-        push(Cell { bench: b, cfg: BuildCfg::revel(b.lanes()), label: "revel" }, &mut seen);
-    }
-    cells
-}
 
 /// Outcome of one cell: canonical texts from both steppers plus skip stats.
 struct Outcome {
@@ -95,7 +51,7 @@ fn main() {
         }
     }
 
-    let cells = grid();
+    let cells = evaluation_grid();
     println!("sim-differential: {} grid cells, both steppers each", cells.len());
     let outcomes = engine::par_map(&cells, run_cell);
 
@@ -103,7 +59,7 @@ fn main() {
     let mut total_cycles = 0u64;
     let mut total_skipped = 0u64;
     for o in &outcomes {
-        let name = format!("{}-{} [{}]", o.cell.bench.name(), o.cell.bench.params(), o.cell.label);
+        let name = format!("{}-{} [{}]", o.cell.bench.name(), o.cell.bench.params(), o.cell.arch);
         total_cycles += o.cycles;
         total_skipped += o.skipped;
         if o.fast_text == o.ref_text {

@@ -83,7 +83,16 @@ mod tests {
 
     #[test]
     fn bench_timed_returns_positive_median() {
-        let (median, iters) = bench_timed(|| (0..1000u64).sum::<u64>());
+        // The per-element black_box keeps -O from const-folding the sum
+        // into a sub-nanosecond constant, which would round the per-iter
+        // median down to Duration::ZERO.
+        let (median, iters) = bench_timed(|| {
+            let mut acc = 0u64;
+            for i in 0..black_box(4096u64) {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
         assert!(iters >= 1);
         assert!(median > Duration::ZERO);
     }

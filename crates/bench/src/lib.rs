@@ -4,7 +4,12 @@
 //! microbenchmarks of the infrastructure itself (`benches/`, using the
 //! in-repo [`harness`]). Run everything with `cargo run -p revel-bench
 //! --bin all_experiments --release`.
+//!
+//! The [`grid`] module defines the shared evaluation grid (workload ×
+//! architecture cells) consumed by both the differential stepper gate and
+//! the `revel-serve` load generator.
 
 #![forbid(unsafe_code)]
 
+pub mod grid;
 pub mod harness;

@@ -5,7 +5,8 @@
 //! consume the same large-suite comparisons, and Fig. 20–24 re-simulate
 //! overlapping configurations. Each cell is also embarrassingly parallel —
 //! a cycle-level simulation touching only its own [`Machine`] — so this
-//! module provides the two mechanisms the harness and test suites share:
+//! module provides the two mechanisms the harness, test suites, and the
+//! `revel-serve` request handlers share:
 //!
 //! * a **run cache** keyed by a `(Bench, BuildCfg)` fingerprint (plus the
 //!   batch-replication flag), so every distinct configuration is built,
@@ -23,18 +24,38 @@
 //! change any table cell. Workers only interleave *which* cell is computed
 //! when; each cell's value and its position in the output are fixed.
 //!
+//! Three properties make the engine safe to park behind a long-running
+//! server (`revel-serve`), not just a batch harness:
+//!
+//! * **Bounded caches.** Both caches evict least-recently-used entries
+//!   beyond [`cache_capacity`] (an unbounded memo table is a slow memory
+//!   leak under an infinite request stream); hit/miss/eviction counters are
+//!   exposed through [`stats`] for the report footer and the `stats`
+//!   endpoint.
+//! * **Single-flight misses.** Concurrent requests for the same key wait
+//!   for the first simulation instead of duplicating it, so a thundering
+//!   herd on a cold cell costs one simulation — and the hit/miss split
+//!   becomes exact (misses == distinct simulations) and deterministic for
+//!   every worker count.
+//! * **Deadline pass-through.** A per-request wall-clock deadline threads
+//!   into [`SimOptions::wall_deadline`]; deadline-expired runs are returned
+//!   to their caller but *never* cached (where the wall clock fired is not
+//!   deterministic, and a poisoned entry would serve bogus timeouts
+//!   forever).
+//!
 //! The cache lives for the process (`OnceLock`), so within one
-//! `all_experiments` run or one test binary every repeated configuration
-//! is a hit; [`stats`] exposes the hit/miss counters the report footer
-//! prints.
+//! `all_experiments` run, one server process, or one test binary every
+//! repeated configuration is a hit.
 
 use crate::suite::{Bench, Comparison};
 use revel_compiler::BuildCfg;
-use revel_sim::SimError;
-use revel_workloads::{run_workload, WorkloadRun};
+use revel_sim::{SimError, SimOptions};
+use revel_workloads::{run_workload_with, WorkloadRun};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Cache key: one simulated configuration. `batch` distinguishes the
 /// batch-replicated build of a kernel from its batch-1 build *only* for
@@ -47,15 +68,108 @@ struct RunKey {
     batch: bool,
 }
 
+/// A bounded, recency-evicting memo table. The engine's run and lint
+/// caches are both instances; the run cache additionally uses the `None`
+/// value state to mark *in-flight* computations for single-flight misses.
+struct BoundedCache<K, V> {
+    map: HashMap<K, CacheEntry<V>>,
+    clock: u64,
+}
+
+struct CacheEntry<V> {
+    /// `Some` = completed result; `None` = another caller is computing it.
+    value: Option<V>,
+    /// Logical access time (monotone per-cache counter, not wall clock).
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    fn new() -> Self {
+        BoundedCache { map: HashMap::new(), clock: 0 }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Completed-entry lookup; a hit refreshes the entry's recency.
+    fn get(&mut self, key: &K) -> Option<V> {
+        let clock = self.tick();
+        match self.map.get_mut(key) {
+            Some(e) if e.value.is_some() => {
+                e.last_used = clock;
+                e.value.clone()
+            }
+            _ => None,
+        }
+    }
+
+    /// True while another caller holds the in-flight claim for `key`.
+    fn in_flight(&self, key: &K) -> bool {
+        matches!(self.map.get(key), Some(e) if e.value.is_none())
+    }
+
+    /// Claims `key` for computation (single-flight marker).
+    fn claim(&mut self, key: K) {
+        let clock = self.tick();
+        self.map.insert(key, CacheEntry { value: None, last_used: clock });
+    }
+
+    /// Releases an unfulfilled claim (computation failed or was aborted).
+    /// A completed entry under the same key is left untouched.
+    fn release_claim(&mut self, key: &K) {
+        if self.in_flight(key) {
+            self.map.remove(key);
+        }
+    }
+
+    /// Inserts a completed value, then evicts least-recently-used
+    /// *completed* entries until at most `capacity` remain (in-flight
+    /// claims are never evicted — there is a thread waiting on each).
+    /// Returns the number of entries evicted.
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> usize {
+        let clock = self.tick();
+        self.map.insert(key, CacheEntry { value: Some(value), last_used: clock });
+        let mut ready = self.ready_len();
+        let mut evicted = 0;
+        while ready > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| e.value.is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    ready -= 1;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Number of completed entries (excludes in-flight claims).
+    fn ready_len(&self) -> usize {
+        self.map.values().filter(|e| e.value.is_some()).count()
+    }
+}
+
 struct Engine {
-    runs: Mutex<HashMap<RunKey, WorkloadRun>>,
-    lints: Mutex<HashMap<(Bench, BuildCfg), Vec<revel_verify::Diagnostic>>>,
+    runs: Mutex<BoundedCache<RunKey, WorkloadRun>>,
+    /// Signalled whenever a run completes or releases its claim, waking
+    /// single-flight waiters.
+    runs_done: Condvar,
+    lints: Mutex<BoundedCache<(Bench, BuildCfg), Vec<revel_verify::Diagnostic>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     // Machine-cycle accounting across all *distinct* cached runs. Counted
-    // at insert time (not at miss time): two workers racing on the same key
-    // both simulate, but only the entry that lands in the cache is counted,
-    // so the totals are deterministic for every --jobs setting.
+    // at insert time by the single thread that executed the run, so the
+    // totals are deterministic for every --jobs setting.
     sim_cycles: AtomicU64,
     skipped_cycles: AtomicU64,
 }
@@ -63,10 +177,12 @@ struct Engine {
 fn engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(|| Engine {
-        runs: Mutex::new(HashMap::new()),
-        lints: Mutex::new(HashMap::new()),
+        runs: Mutex::new(BoundedCache::new()),
+        runs_done: Condvar::new(),
+        lints: Mutex::new(BoundedCache::new()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
         sim_cycles: AtomicU64::new(0),
         skipped_cycles: AtomicU64::new(0),
     })
@@ -74,6 +190,27 @@ fn engine() -> &'static Engine {
 
 /// Worker-thread count: 0 means "auto" (one per available core).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Default bound on each cache (run and lint separately). Generous enough
+/// that the full evaluation grid never evicts, small enough that a
+/// long-running server's memory stays flat.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Completed entries each engine cache may hold before least-recently-used
+/// eviction kicks in (clamped to ≥ 1).
+static CACHE_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CACHE_CAPACITY);
+
+/// Sets the per-cache entry bound (`revel_serve --cache-capacity`). Takes
+/// effect on subsequent inserts; already-cached entries above the new bound
+/// are evicted lazily as new results land.
+pub fn set_cache_capacity(n: usize) {
+    CACHE_CAPACITY.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The current per-cache entry bound.
+pub fn cache_capacity() -> usize {
+    CACHE_CAPACITY.load(Ordering::SeqCst)
+}
 
 /// Sets the worker-thread count for [`par_map`]. `0` restores the default
 /// (one worker per available core). Tables are byte-identical for every
@@ -152,6 +289,23 @@ where
         .collect()
 }
 
+/// Releases an unfulfilled single-flight claim when the executing thread
+/// unwinds (simulator error or panic), so waiters retry instead of hanging.
+struct RunClaim<'a> {
+    engine: &'a Engine,
+    key: RunKey,
+    fulfilled: bool,
+}
+
+impl Drop for RunClaim<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.engine.runs.lock().expect("run cache lock").release_claim(&self.key);
+            self.engine.runs_done.notify_all();
+        }
+    }
+}
+
 /// Runs `bench` under `cfg` through the run cache.
 ///
 /// # Errors
@@ -162,23 +316,85 @@ pub(crate) fn run_cached(
     cfg: &BuildCfg,
     batch: bool,
 ) -> Result<WorkloadRun, SimError> {
+    run_cached_deadline(bench, cfg, batch, None)
+}
+
+/// [`run_cached`] with an optional wall-clock deadline.
+///
+/// Cache hits are served instantly regardless of the deadline. On a miss
+/// the deadline threads into [`SimOptions::wall_deadline`]; a run the
+/// deadline cut short is returned (as `timed_out`) but never cached. A
+/// caller that finds the key in flight waits for the executing thread —
+/// but only until its own deadline, after which it simulates uncached with
+/// the (expired) deadline and reports the timeout itself.
+///
+/// # Errors
+/// Propagates simulator errors (never cached).
+pub(crate) fn run_cached_deadline(
+    bench: Bench,
+    cfg: &BuildCfg,
+    batch: bool,
+    deadline: Option<Instant>,
+) -> Result<WorkloadRun, SimError> {
     let key = RunKey { bench, cfg: *cfg, batch: batch && bench.batch_build_differs() };
     let e = engine();
-    if let Some(run) = e.runs.lock().expect("run cache lock").get(&key) {
-        e.hits.fetch_add(1, Ordering::Relaxed);
-        return Ok(run.clone());
-    }
-    e.misses.fetch_add(1, Ordering::Relaxed);
-    let workload = if key.batch { bench.batch_workload() } else { bench.workload() };
-    let run = run_workload(workload.as_ref(), cfg)?;
-    if let std::collections::hash_map::Entry::Vacant(v) =
-        e.runs.lock().expect("run cache lock").entry(key)
+    let opts = SimOptions { wall_deadline: deadline, ..cfg.sim_options() };
+
+    // Phase 1: hit, claim the key, or wait out another claimant.
     {
-        e.sim_cycles.fetch_add(run.report.cycles, Ordering::Relaxed);
-        e.skipped_cycles.fetch_add(run.report.stepper.skipped_cycles, Ordering::Relaxed);
-        v.insert(run.clone());
+        let mut runs = e.runs.lock().expect("run cache lock");
+        loop {
+            if let Some(run) = runs.get(&key) {
+                e.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(run);
+            }
+            if !runs.in_flight(&key) {
+                runs.claim(key);
+                e.misses.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            match deadline {
+                None => runs = e.runs_done.wait(runs).expect("run cache lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Budget spent waiting on someone else's run: fall
+                        // through to an uncached simulation with the expired
+                        // deadline — it returns `timed_out` almost
+                        // immediately and never touches the cache.
+                        drop(runs);
+                        let workload =
+                            if key.batch { bench.batch_workload() } else { bench.workload() };
+                        return run_workload_with(workload.as_ref(), cfg, opts);
+                    }
+                    runs = e.runs_done.wait_timeout(runs, d - now).expect("run cache lock").0;
+                }
+            }
+        }
     }
-    Ok(run)
+
+    // Phase 2: simulate outside the lock, claim guarded against unwinds.
+    let mut claim = RunClaim { engine: e, key, fulfilled: false };
+    let workload = if key.batch { bench.batch_workload() } else { bench.workload() };
+    let result = run_workload_with(workload.as_ref(), cfg, opts);
+    if let Ok(run) = &result {
+        // A deadline-expired run is not a property of the configuration
+        // (the wall clock fired at an arbitrary cycle); caching it would
+        // serve bogus timeouts to every later request. Leave the claim to
+        // the drop guard instead.
+        if !run.report.deadline_expired {
+            e.sim_cycles.fetch_add(run.report.cycles, Ordering::Relaxed);
+            e.skipped_cycles.fetch_add(run.report.stepper.skipped_cycles, Ordering::Relaxed);
+            let evicted = {
+                let mut runs = e.runs.lock().expect("run cache lock");
+                runs.insert(key, run.clone(), cache_capacity())
+            };
+            e.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            claim.fulfilled = true;
+            e.runs_done.notify_all();
+        }
+    }
+    result
 }
 
 /// Runs REVEL and both spatial baselines for `bench` through the cache.
@@ -204,28 +420,34 @@ pub(crate) fn compare_cached(bench: Bench) -> Result<Comparison, SimError> {
 
 /// Lints `bench`'s build for `cfg` through the lint cache (the full
 /// verifier re-runs the spatial scheduler, so repeats are worth memoizing
-/// across the lint CLI and the test suites).
+/// across the lint CLI, the serving front-end, and the test suites).
 pub(crate) fn lint_cached(bench: Bench, cfg: &BuildCfg) -> Vec<revel_verify::Diagnostic> {
     let key = (bench, *cfg);
     let e = engine();
     if let Some(diags) = e.lints.lock().expect("lint cache lock").get(&key) {
         e.hits.fetch_add(1, Ordering::Relaxed);
-        return diags.clone();
+        return diags;
     }
     e.misses.fetch_add(1, Ordering::Relaxed);
     let built = bench.workload().build(cfg);
     let diags = revel_verify::Verifier::new().verify(&built.program, &cfg.machine_config());
-    e.lints.lock().expect("lint cache lock").insert(key, diags.clone());
+    let evicted =
+        e.lints.lock().expect("lint cache lock").insert(key, diags.clone(), cache_capacity());
+    e.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
     diags
 }
 
-/// Cache counters for the report footer.
+/// Cache counters for the report footer and the `stats` endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that had to simulate (or lint) from scratch.
     pub misses: u64,
+    /// Entries dropped by least-recently-used eviction (both caches).
+    pub evictions: u64,
+    /// Per-cache entry bound currently in force.
+    pub capacity: usize,
     /// Distinct simulated configurations currently cached.
     pub run_entries: usize,
     /// Distinct linted configurations currently cached.
@@ -247,14 +469,30 @@ impl CacheStats {
             100.0 * self.skipped_cycles as f64 / self.sim_cycles as f64
         }
     }
+
+    /// Cache hits as a fraction of all lookups (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "evaluation cache: {} hit(s), {} miss(es) ({} sim + {} lint entries)",
-            self.hits, self.misses, self.run_entries, self.lint_entries
+            "evaluation cache: {} hit(s), {} miss(es) ({} sim + {} lint entries, \
+             {} eviction(s), capacity {})",
+            self.hits,
+            self.misses,
+            self.run_entries,
+            self.lint_entries,
+            self.evictions,
+            self.capacity
         )?;
         write!(
             f,
@@ -274,8 +512,10 @@ pub fn stats() -> CacheStats {
     CacheStats {
         hits: e.hits.load(Ordering::Relaxed),
         misses: e.misses.load(Ordering::Relaxed),
-        run_entries: e.runs.lock().expect("run cache lock").len(),
-        lint_entries: e.lints.lock().expect("lint cache lock").len(),
+        evictions: e.evictions.load(Ordering::Relaxed),
+        capacity: cache_capacity(),
+        run_entries: e.runs.lock().expect("run cache lock").ready_len(),
+        lint_entries: e.lints.lock().expect("lint cache lock").ready_len(),
         sim_cycles: e.sim_cycles.load(Ordering::Relaxed),
         skipped_cycles: e.skipped_cycles.load(Ordering::Relaxed),
     }
@@ -319,6 +559,58 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new();
+        assert_eq!(c.insert(1, 10, 2), 0);
+        assert_eq!(c.insert(2, 20, 2), 0);
+        // Refresh 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.insert(3, 30, 2), 1);
+        assert_eq!(c.get(&2), None, "LRU entry must be gone");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.ready_len(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_shrinks_to_new_capacity_on_insert() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new();
+        for k in 0..8 {
+            c.insert(k, k, 8);
+        }
+        // A smaller capacity evicts down in one insert.
+        assert_eq!(c.insert(100, 100, 4), 5);
+        assert_eq!(c.ready_len(), 4);
+        assert_eq!(c.get(&100), Some(100), "the fresh insert must survive");
+    }
+
+    #[test]
+    fn bounded_cache_never_evicts_in_flight_claims() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new();
+        c.claim(1);
+        assert!(c.in_flight(&1));
+        assert_eq!(c.ready_len(), 0);
+        // Capacity 1 with a claim present: inserts only evict ready entries.
+        c.insert(2, 20, 1);
+        assert_eq!(c.insert(3, 30, 1), 1);
+        assert!(c.in_flight(&1), "claim must survive eviction pressure");
+        // Completing the claim works; releasing a fulfilled key is a no-op.
+        c.insert(1, 10, 3);
+        c.release_claim(&1);
+        assert_eq!(c.get(&1), Some(10));
+    }
+
+    #[test]
+    fn cache_capacity_is_settable_and_clamped() {
+        let prev = cache_capacity();
+        set_cache_capacity(64);
+        assert_eq!(stats().capacity, 64);
+        set_cache_capacity(0);
+        assert_eq!(cache_capacity(), 1, "capacity clamps to at least one entry");
+        set_cache_capacity(prev);
+    }
+
+    #[test]
     fn run_cache_hits_on_repeat() {
         let b = Bench::Solver { n: 12 };
         let cfg = BuildCfg::revel(1);
@@ -328,6 +620,54 @@ mod tests {
         let after = stats();
         assert_eq!(first.cycles, second.cycles);
         assert!(after.hits > before.hits, "second lookup must hit: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn expired_deadline_times_out_and_is_never_cached() {
+        let b = Bench::Qr { n: 12 };
+        let cfg = BuildCfg::systolic_baseline(1);
+        let before = stats();
+        let dead = Some(Instant::now());
+        let run = run_cached_deadline(b, &cfg, false, dead).expect("runs");
+        assert!(run.report.timed_out, "expired deadline must surface as timed_out");
+        assert!(run.report.deadline_expired);
+        // The poisoned result must not have landed in the cache: a fresh
+        // lookup with no deadline simulates and completes normally.
+        let good = run_cached(b, &cfg, false).expect("runs");
+        assert!(!good.report.timed_out, "cache must not have been poisoned");
+        let after = stats();
+        assert!(after.misses >= before.misses + 2, "both lookups were misses");
+    }
+
+    #[test]
+    fn generous_deadline_matches_undeadlined_run() {
+        let b = Bench::Fft { n: 64 };
+        let cfg = BuildCfg::revel(1);
+        let plain = run_cached(b, &cfg, false).expect("runs");
+        let far = Some(Instant::now() + std::time::Duration::from_secs(600));
+        let with = run_cached_deadline(b, &cfg, false, far).expect("runs");
+        assert_eq!(plain.cycles, with.cycles);
+        assert!(!with.report.deadline_expired);
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_misses() {
+        // 8 threads race one cold key; single-flight must simulate it once.
+        let b = Bench::Solver { n: 16 };
+        let cfg = BuildCfg::dataflow_baseline(1);
+        let before = stats();
+        let items: Vec<u32> = (0..8).collect();
+        let runs = par_map_jobs(&items, 8, |_| run_cached(b, &cfg, false).expect("runs"));
+        let after = stats();
+        for r in &runs {
+            assert_eq!(r.cycles, runs[0].cycles);
+        }
+        assert_eq!(
+            after.misses,
+            before.misses + 1,
+            "exactly one simulation for eight concurrent requests"
+        );
+        assert!(after.hits >= before.hits + 7, "the other seven are hits");
     }
 
     #[test]
@@ -371,5 +711,22 @@ mod tests {
             assert_eq!(c.systolic_cycles, serial.systolic_cycles, "{}", b.name());
             assert_eq!(c.dataflow_cycles, serial.dataflow_cycles, "{}", b.name());
         }
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let zero = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            capacity: 1,
+            run_entries: 0,
+            lint_entries: 0,
+            sim_cycles: 0,
+            skipped_cycles: 0,
+        };
+        assert_eq!(zero.hit_rate(), 0.0);
+        let mixed = CacheStats { hits: 3, misses: 1, ..zero };
+        assert!((mixed.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

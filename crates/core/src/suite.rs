@@ -217,6 +217,23 @@ impl Bench {
         crate::engine::run_cached(*self, cfg, false)
     }
 
+    /// [`Bench::run`] with a wall-clock deadline threaded into the
+    /// simulator ([`revel_sim::SimOptions::wall_deadline`]): cache hits are
+    /// served instantly regardless of the deadline, misses simulate under
+    /// it, and a run the deadline cut short is returned as `timed_out`
+    /// (with `deadline_expired` set) but never cached. This is the serving
+    /// front-end's entry point for per-request deadlines.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn run_with_deadline(
+        &self,
+        cfg: &BuildCfg,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<WorkloadRun, SimError> {
+        crate::engine::run_cached_deadline(*self, cfg, false, deadline)
+    }
+
     /// [`Bench::run`] for the batch-semantics build (one independent
     /// problem per lane, Figure 20); shares cache entries with `run`
     /// whenever the batch build is identical.

@@ -1,0 +1,304 @@
+//! Load generator and replay client for `revel_serve`.
+//!
+//! ```text
+//! # closed-loop load over the 42-cell evaluation grid, 4 connections, 10 s
+//! revel_client --connections 4 --duration 10
+//!
+//! # rate-paced: 50 requests/second total across 8 connections
+//! revel_client --connections 8 --rps 50 --duration 30
+//!
+//! # replay a canned JSONL request file twice (CI smoke)
+//! revel_client --replay ci/smoke.jsonl --passes 2 --assert-hit-rate 0.9
+//! ```
+//!
+//! Prints a p50/p90/p99 latency histogram plus the server-reported engine
+//! cache hit rate over the measurement window (from `stats` deltas).
+//! `--assert-p99-ms` / `--assert-hit-rate` turn the report into a gate:
+//! exit 1 when the floor is missed.
+
+use revel_bench::grid;
+use revel_serve::client::{fmt_ms, percentile, Client};
+use revel_serve::protocol::{read_all_frames, EngineStatsWire, Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    rps: f64,
+    duration_s: f64,
+    replay: Option<String>,
+    passes: usize,
+    deadline_ms: Option<u64>,
+    assert_p99_ms: Option<f64>,
+    assert_hit_rate: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: String::new(),
+        connections: 4,
+        rps: 0.0,
+        duration_s: 10.0,
+        replay: None,
+        passes: 1,
+        deadline_ms: None,
+        assert_p99_ms: None,
+        assert_hit_rate: None,
+    };
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7411u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val =
+            |name: &str| args.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match flag.as_str() {
+            "--host" => host = val("--host"),
+            "--port" => port = parse(&val("--port"), "--port"),
+            "--connections" => a.connections = parse(&val("--connections"), "--connections"),
+            "--rps" => a.rps = parse(&val("--rps"), "--rps"),
+            "--duration" => a.duration_s = parse(&val("--duration"), "--duration"),
+            "--replay" => a.replay = Some(val("--replay")),
+            "--passes" => a.passes = parse(&val("--passes"), "--passes"),
+            "--deadline-ms" => a.deadline_ms = Some(parse(&val("--deadline-ms"), "--deadline-ms")),
+            "--assert-p99-ms" => {
+                a.assert_p99_ms = Some(parse(&val("--assert-p99-ms"), "--assert-p99-ms"));
+            }
+            "--assert-hit-rate" => {
+                a.assert_hit_rate = Some(parse(&val("--assert-hit-rate"), "--assert-hit-rate"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    a.addr = format!("{host}:{port}");
+    a.connections = a.connections.max(1);
+    a
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies: Mutex<Vec<Duration>>,
+    ok: AtomicU64,
+    timed_out: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Tally {
+    fn record(&self, started: Instant, resp: &Response) {
+        self.latencies.lock().expect("latency lock").push(started.elapsed());
+        match resp {
+            Response::Overloaded { .. } => self.overloaded.fetch_add(1, Ordering::Relaxed),
+            Response::TimedOut { .. } => self.timed_out.fetch_add(1, Ordering::Relaxed),
+            Response::Error { .. } => self.errors.fetch_add(1, Ordering::Relaxed),
+            _ => self.ok.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    // The measurement window is bracketed by server-side stats snapshots,
+    // so the hit rate reported is *of this run's traffic only*.
+    let mut control = Client::connect(&args.addr)
+        .unwrap_or_else(|e| fatal(&format!("cannot connect to {}: {e}", args.addr)));
+    let before = fetch_engine_stats(&mut control);
+
+    let tally = Tally::default();
+    let started = Instant::now();
+    if let Some(path) = &args.replay {
+        replay(&args, path, &tally);
+    } else {
+        grid_load(&args, &tally);
+    }
+    let wall = started.elapsed();
+
+    let after = fetch_engine_stats(&mut control);
+
+    let lat = tally.latencies.lock().expect("latency lock").clone();
+    let (p50, p90, p99) = (percentile(&lat, 50.0), percentile(&lat, 90.0), percentile(&lat, 99.0));
+    let total = lat.len() as u64;
+    println!(
+        "revel-client: {} request(s) in {:.2}s over {} connection(s)",
+        total,
+        wall.as_secs_f64(),
+        args.connections
+    );
+    println!(
+        "  outcomes: {} ok, {} timed_out, {} overloaded, {} error(s)",
+        tally.ok.load(Ordering::Relaxed),
+        tally.timed_out.load(Ordering::Relaxed),
+        tally.overloaded.load(Ordering::Relaxed),
+        tally.errors.load(Ordering::Relaxed),
+    );
+    println!("  latency: p50 {}  p90 {}  p99 {}", fmt_ms(p50), fmt_ms(p90), fmt_ms(p99));
+
+    let d_hits = after.hits.saturating_sub(before.hits);
+    let d_misses = after.misses.saturating_sub(before.misses);
+    let lookups = d_hits + d_misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { d_hits as f64 / lookups as f64 };
+    println!(
+        "  engine cache over this window: {d_hits} hit(s), {d_misses} miss(es) \
+         (hit rate {hit_rate:.3}); {} eviction(s) total",
+        after.evictions
+    );
+
+    if let Some(floor) = args.assert_hit_rate {
+        if hit_rate < floor {
+            gate_failures.push(format!("hit rate {hit_rate:.3} below floor {floor:.3}"));
+        }
+    }
+    if let Some(ceil_ms) = args.assert_p99_ms {
+        let p99_ms = p99.as_secs_f64() * 1e3;
+        if p99_ms > ceil_ms {
+            gate_failures.push(format!("p99 {p99_ms:.3}ms above ceiling {ceil_ms:.3}ms"));
+        }
+    }
+    if tally.errors.load(Ordering::Relaxed) > 0 {
+        gate_failures.push(format!(
+            "{} request(s) answered with errors",
+            tally.errors.load(Ordering::Relaxed)
+        ));
+    }
+    if !gate_failures.is_empty() {
+        for g in &gate_failures {
+            eprintln!("revel-client: GATE FAILED: {g}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn fetch_engine_stats(c: &mut Client) -> EngineStatsWire {
+    match c.request(&Request::Stats) {
+        Ok(Response::Stats { engine, .. }) => engine,
+        Ok(other) => fatal(&format!("stats request got {other:?}")),
+        Err(e) => fatal(&format!("stats request failed: {e}")),
+    }
+}
+
+/// Closed-loop (or rate-paced) load over the evaluation grid, round-robin
+/// across cells, fanned over `connections` client threads.
+fn grid_load(args: &Args, tally: &Tally) {
+    let cells = grid::evaluation_grid();
+    let reqs: Vec<Request> = cells
+        .iter()
+        .map(|c| Request::Simulate {
+            bench: c.bench.name().to_string(),
+            params: c.bench.params(),
+            arch: c.arch.to_string(),
+            deadline_ms: args.deadline_ms,
+            max_cycles: None,
+            reference_stepper: false,
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
+    // Each connection paces itself so the *total* offered rate is --rps.
+    let per_conn_interval = if args.rps > 0.0 {
+        Some(Duration::from_secs_f64(args.connections as f64 / args.rps))
+    } else {
+        None
+    };
+    std::thread::scope(|s| {
+        for conn in 0..args.connections {
+            let reqs = &reqs;
+            s.spawn(move || {
+                let mut client = match Client::connect(&args.addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("revel-client: connection {conn}: {e}");
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                // Stagger starting cells so connections don't convoy.
+                let mut i = conn;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    match client.request(&reqs[i % reqs.len()]) {
+                        Ok(resp) => tally.record(t0, &resp),
+                        Err(e) => {
+                            eprintln!("revel-client: connection {conn}: {e}");
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    i += args.connections;
+                    if let Some(interval) = per_conn_interval {
+                        let next = t0 + interval;
+                        let now = Instant::now();
+                        if next > now {
+                            std::thread::sleep(next - now);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Replays a canned JSONL request file `passes` times, requests dealt
+/// round-robin across the connections within each pass.
+fn replay(args: &Args, path: &str, tally: &Tally) {
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| fatal(&format!("cannot open replay file {path}: {e}")));
+    let frames =
+        read_all_frames(std::io::BufReader::new(file)).unwrap_or_else(|e| fatal(&e.to_string()));
+    if frames.is_empty() {
+        fatal(&format!("replay file {path} holds no frames"));
+    }
+    for _pass in 0..args.passes.max(1) {
+        std::thread::scope(|s| {
+            for conn in 0..args.connections {
+                let frames = &frames;
+                s.spawn(move || {
+                    let mut client = match Client::connect(&args.addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("revel-client: connection {conn}: {e}");
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    let mut i = conn;
+                    while i < frames.len() {
+                        let t0 = Instant::now();
+                        match client.request_raw(&frames[i]) {
+                            Ok((_id, resp)) => tally.record(t0, &resp),
+                            Err(e) => {
+                                eprintln!("revel-client: connection {conn}: {e}");
+                                tally.errors.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        i += args.connections;
+                    }
+                });
+            }
+        });
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad value '{s}' for {flag}")))
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("revel-client: {msg}");
+    std::process::exit(1);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("revel-client: {err}");
+    }
+    eprintln!(
+        "usage: revel_client [--host H] [--port P] [--connections N] [--rps R] [--duration S]\n\
+         \x20                 [--replay FILE] [--passes N] [--deadline-ms MS]\n\
+         \x20                 [--assert-p99-ms MS] [--assert-hit-rate F]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,79 @@
+//! The REVEL simulation server.
+//!
+//! ```text
+//! revel_serve                          # 127.0.0.1:7411, one worker/core
+//! revel_serve --port 7500 --workers 2 --queue 16 --cache-capacity 256
+//! ```
+//!
+//! Speaks the JSON-lines protocol of `revel_serve::protocol` (DESIGN.md
+//! §11). SIGTERM/ctrl-c (or a `shutdown` request) drains in-flight work
+//! and exits 0 with a final stats line on stderr.
+
+use revel_serve::server::{Server, ServerConfig};
+use revel_serve::signal;
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7411u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val =
+            |name: &str| args.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match a.as_str() {
+            "--host" => host = val("--host"),
+            "--port" => port = parse(&val("--port"), "--port"),
+            "--workers" => cfg.workers = parse(&val("--workers"), "--workers"),
+            "--queue" => cfg.queue_capacity = parse(&val("--queue"), "--queue"),
+            "--cache-capacity" => {
+                revel_core::engine::set_cache_capacity(parse(
+                    &val("--cache-capacity"),
+                    "--cache-capacity",
+                ));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    cfg.addr = format!("{host}:{port}");
+
+    signal::install();
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("revel-serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().map(|a| a.to_string()).unwrap_or(cfg.addr.clone());
+    eprintln!(
+        "revel-serve: listening on {addr} ({} worker(s), queue capacity {}, cache capacity {})",
+        if cfg.workers == 0 { revel_core::engine::jobs() } else { cfg.workers },
+        cfg.queue_capacity,
+        revel_core::engine::cache_capacity(),
+    );
+    match server.serve() {
+        Ok(stats) => {
+            eprintln!("revel-serve: shutdown — {stats}");
+            eprintln!("revel-serve: {}", revel_core::engine::stats());
+        }
+        Err(e) => {
+            eprintln!("revel-serve: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad value '{s}' for {flag}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("revel-serve: {err}");
+    }
+    eprintln!(
+        "usage: revel_serve [--host H] [--port P] [--workers N] [--queue N] [--cache-capacity N]"
+    );
+    std::process::exit(2);
+}

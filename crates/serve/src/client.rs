@@ -1,0 +1,144 @@
+//! Blocking client for the JSON-lines protocol, plus the latency helpers
+//! the load generator reports with.
+
+use crate::protocol::{
+    decode_response, encode_request, Frame, FrameReader, ProtoError, Request, Response,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client (one TCP stream, requests answered in order).
+pub struct Client {
+    writer: TcpStream,
+    frames: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server closed the connection.
+    Closed,
+    /// An undecodable or mismatched response frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Closed => f.write_str("server closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e.message)
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7411`).
+    ///
+    /// # Errors
+    /// Propagates connect errors.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, frames: FrameReader::new(stream), next_id: 1 })
+    }
+
+    /// Sends one request and blocks for its response. The response `id`
+    /// must echo the request's.
+    ///
+    /// # Errors
+    /// Transport failures, a closed connection, or a protocol violation.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(encode_request(id, req).as_bytes())?;
+        match self.frames.next_frame()? {
+            None => Err(ClientError::Closed),
+            Some(Frame::Oversized(n)) => {
+                Err(ClientError::Protocol(format!("oversized response frame ({n}+ bytes)")))
+            }
+            Some(Frame::Line(line)) => {
+                let (rid, resp) = decode_response(&line)?;
+                if rid != id {
+                    return Err(ClientError::Protocol(format!(
+                        "response id {rid} does not echo request id {id}"
+                    )));
+                }
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Sends a raw pre-encoded frame (replay mode) and decodes the reply.
+    ///
+    /// # Errors
+    /// Transport failures, a closed connection, or a protocol violation.
+    pub fn request_raw(&mut self, frame: &str) -> Result<(u64, Response), ClientError> {
+        self.writer.write_all(frame.as_bytes())?;
+        if !frame.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        match self.frames.next_frame()? {
+            None => Err(ClientError::Closed),
+            Some(Frame::Oversized(n)) => {
+                Err(ClientError::Protocol(format!("oversized response frame ({n}+ bytes)")))
+            }
+            Some(Frame::Line(line)) => Ok(decode_response(&line)?),
+        }
+    }
+}
+
+/// Latency percentile over an **unsorted** sample set (sorts a copy):
+/// nearest-rank, `p` in [0, 100].
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 90.0), Duration::from_millis(90));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+        // Unsorted input is handled.
+        let mixed = [3, 1, 2].map(Duration::from_millis);
+        assert_eq!(percentile(&mixed, 50.0), Duration::from_millis(2));
+    }
+}

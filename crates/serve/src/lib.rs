@@ -1,0 +1,42 @@
+//! # revel-serve — the simulation service
+//!
+//! A std-only TCP front-end for the REVEL evaluation stack: clients speak a
+//! JSON-lines protocol (one request object per line, one response object
+//! per line — see [`protocol`] and DESIGN.md §11) to simulate, lint, or
+//! compare any cell of the evaluation grid. The server routes every
+//! request through the process-wide evaluation engine
+//! (`revel_core::engine`), so a warm server answers repeated cells from
+//! the bounded run cache at memory speed while cold cells simulate exactly
+//! once, even under a thundering herd.
+//!
+//! Operational properties (the reason this is a crate and not a script):
+//!
+//! * **Bounded admission.** Requests pass through a bounded MPMC queue
+//!   ([`queue::Bounded`]); when it is full the client gets a structured
+//!   `overloaded` response immediately — the server never hangs a caller
+//!   on an unbounded backlog and never silently drops a request.
+//! * **Per-request deadlines.** A `deadline_ms` on a simulate request
+//!   threads into [`SimOptions::wall_deadline`] and composes with the
+//!   cycle budget: whichever cap fires first surfaces as a structured
+//!   `timed_out` response carrying the machine's deadlock snapshot.
+//! * **Graceful shutdown.** SIGTERM/ctrl-c (or a `shutdown` request) stops
+//!   admission, drains in-flight work, joins every worker, and emits a
+//!   final stats line; in-flight clients get their answers.
+//!
+//! The companion `revel_client` binary doubles as the load generator for
+//! the serving benchmark (EXPERIMENTS.md): closed-loop or rate-paced load
+//! over the 42-cell evaluation grid with a p50/p90/p99 latency report and
+//! the server-side cache hit rate.
+//!
+//! [`SimOptions::wall_deadline`]: revel_core::sim::SimOptions
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod probe;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;

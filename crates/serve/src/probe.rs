@@ -1,0 +1,100 @@
+//! The built-in deadlock probe.
+//!
+//! A deliberately deadlocked program — a store drains `OutPortId(3)` while
+//! the fabric region only ever writes `OutPortId(2)`, so `Wait` can never
+//! resolve — addressable over the wire as bench `"deadlock-probe"`. It
+//! exists so operators (and the regression suite) can exercise the whole
+//! timeout path end-to-end: cycle budget and wall-clock deadline compose
+//! in the kernel, and the resulting `timed_out` response carries the same
+//! [`DeadlockSnapshot`] text the batch path prints.
+//!
+//! Determinism: under the event-horizon kernel a quiesced-but-unfinished
+//! machine jumps straight to the cycle budget, so a budget-capped probe
+//! reports the *same* final cycle and snapshot on every host and at every
+//! load level — which is what makes the server-vs-batch byte-comparison in
+//! the test suite meaningful.
+//!
+//! [`DeadlockSnapshot`]: revel_core::sim::DeadlockSnapshot
+
+use revel_core::dfg::{Dfg, OpCode, Region};
+use revel_core::fabric::RevelConfig;
+use revel_core::isa::{
+    AffinePattern, ConfigId, InPortId, LaneMask, MemTarget, OutPortId, RateFsm, StreamCommand,
+    VectorCommand,
+};
+use revel_core::sim::{Machine, RevelProgram, RunReport, SimError, SimOptions};
+
+/// Wire name of the probe bench.
+pub const BENCH_NAME: &str = "deadlock-probe";
+
+/// Default cycle budget for probe runs: small enough to answer in
+/// microseconds, large enough that the machine has provably quiesced.
+pub const DEFAULT_MAX_CYCLES: u64 = 100_000;
+
+/// Builds the deadlocked program (mirrors the sim crate's differential
+/// regression: mismatched store port, unresolvable `Wait`).
+pub fn program() -> RevelProgram {
+    let mut prog = RevelProgram::new("serve-deadlock-probe");
+    let mut g = Dfg::new("copy");
+    let a = g.input(InPortId(2));
+    let mv = g.op(OpCode::Mov, &[a]);
+    g.output(mv, OutPortId(2));
+    let cfg = prog.add_config(vec![Region::systolic("copy", g, 4)]);
+    let lanes = LaneMask::all(1);
+    prog.push(VectorCommand::broadcast(lanes, StreamCommand::Configure { config: ConfigId(cfg) }));
+    prog.push(VectorCommand::broadcast(
+        lanes,
+        StreamCommand::store(
+            OutPortId(3),
+            MemTarget::Private,
+            AffinePattern::linear(256, 4),
+            RateFsm::ONCE,
+        ),
+    ));
+    prog.push(VectorCommand::broadcast(lanes, StreamCommand::Wait));
+    prog
+}
+
+/// Runs the probe under `max_cycles` (default
+/// [`DEFAULT_MAX_CYCLES`]) and an optional wall-clock deadline — exactly
+/// the options the server threads through for a probe request.
+///
+/// # Errors
+/// Propagates simulator errors (the probe program itself is well-formed).
+pub fn run(
+    max_cycles: Option<u64>,
+    wall_deadline: Option<std::time::Instant>,
+) -> Result<RunReport, SimError> {
+    let opts = SimOptions {
+        max_cycles: max_cycles.unwrap_or(DEFAULT_MAX_CYCLES),
+        wall_deadline,
+        verify: false,
+        ..SimOptions::default()
+    };
+    let mut m = Machine::new(RevelConfig::single_lane(), opts);
+    m.run(&program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_times_out_deterministically_with_snapshot() {
+        let a = run(Some(50_000), None).expect("probe runs");
+        let b = run(Some(50_000), None).expect("probe runs");
+        assert!(a.timed_out && !a.deadline_expired);
+        assert_eq!(a.cycles, b.cycles, "budget-capped probe is deterministic");
+        let snap_a = a.deadlock.as_ref().expect("snapshot present").to_string();
+        let snap_b = b.deadlock.as_ref().expect("snapshot present").to_string();
+        assert_eq!(snap_a, snap_b, "snapshot text is byte-stable");
+        assert!(snap_a.contains("DEADLOCK"), "{snap_a}");
+    }
+
+    #[test]
+    fn probe_honors_wall_deadline() {
+        let r = run(None, Some(std::time::Instant::now())).expect("probe runs");
+        assert!(r.timed_out);
+        assert!(r.deadline_expired, "expired deadline must be the reported cause");
+    }
+}

@@ -1,0 +1,624 @@
+//! The JSON-lines wire protocol: request/response model, encoders,
+//! decoders, and bounded frame reading.
+//!
+//! One request object per line, one response object per line. Every
+//! request carries a client-chosen `id` echoed verbatim on its response,
+//! so a client may pipeline. The full grammar is documented in DESIGN.md
+//! §11; this module is the single source of truth for the field names.
+
+use crate::json::{parse, Value};
+use std::io::{BufRead, Read};
+
+/// Hard cap on one frame (request or response line), in bytes. A frame
+/// beyond this is rejected with an `oversized_frame` error and the
+/// connection is closed — a worker never sees it.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// A request, minus its envelope `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline (never queued).
+    Health,
+    /// Counter snapshot (engine cache, schedule cache, server); inline.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight work, then exit; inline.
+    Shutdown,
+    /// Diagnostic: hold a worker for `ms` milliseconds (deterministic
+    /// overload and drain tests; not part of the evaluation surface).
+    Sleep {
+        /// Milliseconds to hold the worker.
+        ms: u64,
+    },
+    /// Simulate one evaluation-grid cell (or the built-in
+    /// `deadlock-probe`) through the engine's run cache.
+    Simulate {
+        /// Kernel name (`Bench::name`), or `"deadlock-probe"`.
+        bench: String,
+        /// Parameter string (`Bench::params`), e.g. `"n=12"`.
+        params: String,
+        /// Architecture label: `revel` / `systolic` / `dataflow` or a
+        /// Fig. 22 ablation-ladder label.
+        arch: String,
+        /// Per-request wall-clock deadline in milliseconds (composes with
+        /// the cycle budget; measured from admission, so queueing time
+        /// counts).
+        deadline_ms: Option<u64>,
+        /// Cycle-budget override. Set ⇒ the run bypasses the cache (a
+        /// truncated run must never be memoized as the configuration's
+        /// result).
+        max_cycles: Option<u64>,
+        /// Run on the naive reference stepper (oracle mode). Bypasses the
+        /// cache for the same reason.
+        reference_stepper: bool,
+    },
+    /// Run every static lint over one cell's build (lint cache).
+    Lint {
+        /// Kernel name.
+        bench: String,
+        /// Parameter string.
+        params: String,
+        /// Architecture label.
+        arch: String,
+    },
+    /// REVEL vs. both spatial baselines for one kernel (three cached runs).
+    Compare {
+        /// Kernel name.
+        bench: String,
+        /// Parameter string.
+        params: String,
+    },
+}
+
+/// Engine-cache counters on the wire (mirrors
+/// `revel_core::engine::CacheStats`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStatsWire {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that simulated (or linted) from scratch.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Per-cache entry bound.
+    pub capacity: u64,
+    /// Cached simulation entries.
+    pub run_entries: u64,
+    /// Cached lint entries.
+    pub lint_entries: u64,
+    /// Machine cycles across all distinct cached runs.
+    pub sim_cycles: u64,
+    /// Cycles the event-horizon kernel skipped.
+    pub skipped_cycles: u64,
+}
+
+/// Schedule-cache counters on the wire (mirrors
+/// `revel_core::sim::ScheduleCacheStats`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStatsWire {
+    /// Lookups served from the compiled-schedule cache.
+    pub hits: u64,
+    /// Compilations (exact: equals `entries`).
+    pub misses: u64,
+    /// Distinct compiled schedule sets.
+    pub entries: u64,
+}
+
+/// Server request counters on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerStatsWire {
+    /// Requests admitted (decoded successfully).
+    pub received: u64,
+    /// Requests a worker completed.
+    pub completed: u64,
+    /// Requests rejected with `overloaded` (queue full).
+    pub overloaded: u64,
+    /// Requests that ended `timed_out` (budget or deadline).
+    pub timed_out: u64,
+    /// Requests answered with a structured error.
+    pub errors: u64,
+}
+
+/// A response, minus its envelope `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Health {
+        /// Worker threads serving the queue.
+        workers: u64,
+        /// Bounded-queue capacity.
+        queue_capacity: u64,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Engine-cache counters.
+        engine: EngineStatsWire,
+        /// Schedule-cache counters.
+        schedule: ScheduleStatsWire,
+        /// Server request counters.
+        server: ServerStatsWire,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// Sleep diagnostic completed.
+    Slept {
+        /// Milliseconds held.
+        ms: u64,
+    },
+    /// A completed simulation.
+    Result {
+        /// Cycle count.
+        cycles: u64,
+        /// Stream commands issued by the control core.
+        commands_issued: u64,
+        /// Numerical verification passed.
+        verified: bool,
+        /// Verification failure text, when `verified` is false.
+        error: Option<String>,
+    },
+    /// A simulation ended by the cycle budget or the wall-clock deadline.
+    TimedOut {
+        /// Cycles executed before the cap fired.
+        cycles: u64,
+        /// True when the wall-clock deadline (not the budget) fired.
+        deadline_expired: bool,
+        /// The machine's deadlock snapshot (same text as the batch path).
+        deadlock: Option<String>,
+    },
+    /// REVEL vs. the spatial baselines.
+    Comparison {
+        /// REVEL cycles.
+        revel_cycles: u64,
+        /// Pure-systolic baseline cycles.
+        systolic_cycles: u64,
+        /// Tagged-dataflow baseline cycles.
+        dataflow_cycles: u64,
+    },
+    /// Static-lint results.
+    Lint {
+        /// True when no diagnostics fired.
+        clean: bool,
+        /// Rendered diagnostics.
+        diagnostics: Vec<String>,
+    },
+    /// The bounded queue was full; the request was not admitted.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: u64,
+    },
+    /// A structured failure.
+    Error {
+        /// Stable machine-readable kind (`bad_request`, `unknown_bench`,
+        /// `oversized_frame`, `shutting_down`, `internal`).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A decode failure (malformed JSON or schema violation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError { message: message.into() }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| bad(format!("missing string field '{key}'")))
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => {
+            f.as_u64().map(Some).ok_or_else(|| bad(format!("field '{key}' must be a count")))
+        }
+    }
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    opt_u64(v, key)?.ok_or_else(|| bad(format!("missing count field '{key}'")))
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<bool, ProtoError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(f) => f.as_bool().ok_or_else(|| bad(format!("field '{key}' must be a boolean"))),
+    }
+}
+
+/// Encodes a request as one frame (newline-terminated).
+pub fn encode_request(id: u64, req: &Request) -> String {
+    let mut fields = vec![("id".to_string(), Value::u64(id))];
+    let mut op = |name: &str| fields.push(("op".to_string(), Value::str(name)));
+    match req {
+        Request::Health => op("health"),
+        Request::Stats => op("stats"),
+        Request::Shutdown => op("shutdown"),
+        Request::Sleep { ms } => {
+            op("sleep");
+            fields.push(("ms".to_string(), Value::u64(*ms)));
+        }
+        Request::Simulate { bench, params, arch, deadline_ms, max_cycles, reference_stepper } => {
+            op("simulate");
+            fields.push(("bench".to_string(), Value::str(bench)));
+            fields.push(("params".to_string(), Value::str(params)));
+            fields.push(("arch".to_string(), Value::str(arch)));
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms".to_string(), Value::u64(*ms)));
+            }
+            if let Some(mc) = max_cycles {
+                fields.push(("max_cycles".to_string(), Value::u64(*mc)));
+            }
+            if *reference_stepper {
+                fields.push(("reference_stepper".to_string(), Value::Bool(true)));
+            }
+        }
+        Request::Lint { bench, params, arch } => {
+            op("lint");
+            fields.push(("bench".to_string(), Value::str(bench)));
+            fields.push(("params".to_string(), Value::str(params)));
+            fields.push(("arch".to_string(), Value::str(arch)));
+        }
+        Request::Compare { bench, params } => {
+            op("compare");
+            fields.push(("bench".to_string(), Value::str(bench)));
+            fields.push(("params".to_string(), Value::str(params)));
+        }
+    }
+    let mut line = Value::Obj(fields).render();
+    line.push('\n');
+    line
+}
+
+/// Decodes one request frame into `(id, request)`.
+///
+/// # Errors
+/// Malformed JSON, a non-object, or a schema violation.
+pub fn decode_request(line: &str) -> Result<(u64, Request), ProtoError> {
+    let v = parse(line.trim_end()).map_err(|e| bad(e.to_string()))?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err(bad("request frame must be a JSON object"));
+    }
+    let id = req_u64(&v, "id")?;
+    let op = req_str(&v, "op")?;
+    let req = match op.as_str() {
+        "health" => Request::Health,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "sleep" => Request::Sleep { ms: req_u64(&v, "ms")? },
+        "simulate" => Request::Simulate {
+            bench: req_str(&v, "bench")?,
+            params: req_str(&v, "params")?,
+            arch: req_str(&v, "arch")?,
+            deadline_ms: opt_u64(&v, "deadline_ms")?,
+            max_cycles: opt_u64(&v, "max_cycles")?,
+            reference_stepper: opt_bool(&v, "reference_stepper")?,
+        },
+        "lint" => Request::Lint {
+            bench: req_str(&v, "bench")?,
+            params: req_str(&v, "params")?,
+            arch: req_str(&v, "arch")?,
+        },
+        "compare" => {
+            Request::Compare { bench: req_str(&v, "bench")?, params: req_str(&v, "params")? }
+        }
+        other => return Err(bad(format!("unknown op '{other}'"))),
+    };
+    Ok((id, req))
+}
+
+fn counters_obj(fields: &[(&str, u64)]) -> Value {
+    Value::Obj(fields.iter().map(|(k, v)| ((*k).to_string(), Value::u64(*v))).collect())
+}
+
+/// Encodes a response as one frame (newline-terminated).
+pub fn encode_response(id: u64, resp: &Response) -> String {
+    let mut fields = vec![("id".to_string(), Value::u64(id))];
+    let mut kind = |name: &str| fields.push(("type".to_string(), Value::str(name)));
+    match resp {
+        Response::Health { workers, queue_capacity } => {
+            kind("health");
+            fields.push(("workers".to_string(), Value::u64(*workers)));
+            fields.push(("queue_capacity".to_string(), Value::u64(*queue_capacity)));
+        }
+        Response::Stats { engine, schedule, server } => {
+            kind("stats");
+            fields.push((
+                "engine".to_string(),
+                counters_obj(&[
+                    ("hits", engine.hits),
+                    ("misses", engine.misses),
+                    ("evictions", engine.evictions),
+                    ("capacity", engine.capacity),
+                    ("run_entries", engine.run_entries),
+                    ("lint_entries", engine.lint_entries),
+                    ("sim_cycles", engine.sim_cycles),
+                    ("skipped_cycles", engine.skipped_cycles),
+                ]),
+            ));
+            fields.push((
+                "schedule_cache_stats".to_string(),
+                counters_obj(&[
+                    ("hits", schedule.hits),
+                    ("misses", schedule.misses),
+                    ("entries", schedule.entries),
+                ]),
+            ));
+            fields.push((
+                "server".to_string(),
+                counters_obj(&[
+                    ("received", server.received),
+                    ("completed", server.completed),
+                    ("overloaded", server.overloaded),
+                    ("timed_out", server.timed_out),
+                    ("errors", server.errors),
+                ]),
+            ));
+        }
+        Response::ShuttingDown => kind("shutting_down"),
+        Response::Slept { ms } => {
+            kind("slept");
+            fields.push(("ms".to_string(), Value::u64(*ms)));
+        }
+        Response::Result { cycles, commands_issued, verified, error } => {
+            kind("result");
+            fields.push(("cycles".to_string(), Value::u64(*cycles)));
+            fields.push(("commands_issued".to_string(), Value::u64(*commands_issued)));
+            fields.push(("verified".to_string(), Value::Bool(*verified)));
+            if let Some(e) = error {
+                fields.push(("error".to_string(), Value::str(e)));
+            }
+        }
+        Response::TimedOut { cycles, deadline_expired, deadlock } => {
+            kind("timed_out");
+            fields.push(("cycles".to_string(), Value::u64(*cycles)));
+            fields.push(("deadline_expired".to_string(), Value::Bool(*deadline_expired)));
+            if let Some(d) = deadlock {
+                fields.push(("deadlock".to_string(), Value::str(d)));
+            }
+        }
+        Response::Comparison { revel_cycles, systolic_cycles, dataflow_cycles } => {
+            kind("comparison");
+            fields.push(("revel_cycles".to_string(), Value::u64(*revel_cycles)));
+            fields.push(("systolic_cycles".to_string(), Value::u64(*systolic_cycles)));
+            fields.push(("dataflow_cycles".to_string(), Value::u64(*dataflow_cycles)));
+        }
+        Response::Lint { clean, diagnostics } => {
+            kind("lint");
+            fields.push(("clean".to_string(), Value::Bool(*clean)));
+            fields.push((
+                "diagnostics".to_string(),
+                Value::Arr(diagnostics.iter().map(Value::str).collect()),
+            ));
+        }
+        Response::Overloaded { capacity } => {
+            kind("overloaded");
+            fields.push(("capacity".to_string(), Value::u64(*capacity)));
+        }
+        Response::Error { kind: k, message } => {
+            kind("error");
+            fields.push(("kind".to_string(), Value::str(k)));
+            fields.push(("message".to_string(), Value::str(message)));
+        }
+    }
+    let mut line = Value::Obj(fields).render();
+    line.push('\n');
+    line
+}
+
+fn wire_counters(v: &Value, key: &str, fields: &[&str]) -> Result<Vec<u64>, ProtoError> {
+    let obj = v.get(key).ok_or_else(|| bad(format!("missing object field '{key}'")))?;
+    fields.iter().map(|f| req_u64(obj, f)).collect()
+}
+
+/// Decodes one response frame into `(id, response)`.
+///
+/// # Errors
+/// Malformed JSON, a non-object, or a schema violation.
+pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
+    let v = parse(line.trim_end()).map_err(|e| bad(e.to_string()))?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err(bad("response frame must be a JSON object"));
+    }
+    let id = req_u64(&v, "id")?;
+    let ty = req_str(&v, "type")?;
+    let resp = match ty.as_str() {
+        "health" => Response::Health {
+            workers: req_u64(&v, "workers")?,
+            queue_capacity: req_u64(&v, "queue_capacity")?,
+        },
+        "stats" => {
+            let e = wire_counters(
+                &v,
+                "engine",
+                &[
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "capacity",
+                    "run_entries",
+                    "lint_entries",
+                    "sim_cycles",
+                    "skipped_cycles",
+                ],
+            )?;
+            let s = wire_counters(&v, "schedule_cache_stats", &["hits", "misses", "entries"])?;
+            let srv = wire_counters(
+                &v,
+                "server",
+                &["received", "completed", "overloaded", "timed_out", "errors"],
+            )?;
+            Response::Stats {
+                engine: EngineStatsWire {
+                    hits: e[0],
+                    misses: e[1],
+                    evictions: e[2],
+                    capacity: e[3],
+                    run_entries: e[4],
+                    lint_entries: e[5],
+                    sim_cycles: e[6],
+                    skipped_cycles: e[7],
+                },
+                schedule: ScheduleStatsWire { hits: s[0], misses: s[1], entries: s[2] },
+                server: ServerStatsWire {
+                    received: srv[0],
+                    completed: srv[1],
+                    overloaded: srv[2],
+                    timed_out: srv[3],
+                    errors: srv[4],
+                },
+            }
+        }
+        "shutting_down" => Response::ShuttingDown,
+        "slept" => Response::Slept { ms: req_u64(&v, "ms")? },
+        "result" => Response::Result {
+            cycles: req_u64(&v, "cycles")?,
+            commands_issued: req_u64(&v, "commands_issued")?,
+            verified: v
+                .get("verified")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'verified'"))?,
+            error: v.get("error").and_then(Value::as_str).map(str::to_owned),
+        },
+        "timed_out" => Response::TimedOut {
+            cycles: req_u64(&v, "cycles")?,
+            deadline_expired: v
+                .get("deadline_expired")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'deadline_expired'"))?,
+            deadlock: v.get("deadlock").and_then(Value::as_str).map(str::to_owned),
+        },
+        "comparison" => Response::Comparison {
+            revel_cycles: req_u64(&v, "revel_cycles")?,
+            systolic_cycles: req_u64(&v, "systolic_cycles")?,
+            dataflow_cycles: req_u64(&v, "dataflow_cycles")?,
+        },
+        "lint" => Response::Lint {
+            clean: v
+                .get("clean")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'clean'"))?,
+            diagnostics: v
+                .get("diagnostics")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad("missing array field 'diagnostics'"))?
+                .iter()
+                .map(|d| d.as_str().map(str::to_owned).ok_or_else(|| bad("non-string diagnostic")))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "overloaded" => Response::Overloaded { capacity: req_u64(&v, "capacity")? },
+        "error" => Response::Error { kind: req_str(&v, "kind")?, message: req_str(&v, "message")? },
+        other => return Err(bad(format!("unknown response type '{other}'"))),
+    };
+    Ok((id, resp))
+}
+
+/// One frame pulled off a connection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded [`MAX_FRAME_BYTES`]; payload is the observed size.
+    Oversized(usize),
+}
+
+/// Incremental newline-delimited frame reader with the
+/// [`MAX_FRAME_BYTES`] bound enforced *during* accumulation (a hostile
+/// megabyte line is rejected after 64 KiB, not buffered).
+///
+/// Partial frames survive read timeouts: an `Err(WouldBlock | TimedOut)`
+/// from the underlying stream propagates out of [`FrameReader::next_frame`]
+/// with the accumulated bytes retained, so callers can poll a shutdown
+/// flag between reads without losing data.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline.
+    scanned: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: Vec::new(), scanned: 0 }
+    }
+
+    /// Returns the next frame, `Ok(None)` at EOF.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (including read timeouts; see type docs).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Frame>> {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let nl = self.scanned + pos;
+                if nl > MAX_FRAME_BYTES {
+                    // The newline landed in the same chunk that blew the
+                    // bound; a completed-but-oversized line is still
+                    // rejected.
+                    return Ok(Some(Frame::Oversized(nl)));
+                }
+                let rest = self.buf.split_off(nl + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                let text = String::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "not UTF-8")
+                })?;
+                return Ok(Some(Frame::Line(text)));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_FRAME_BYTES {
+                return Ok(Some(Frame::Oversized(self.buf.len())));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None); // EOF; any partial frame is discarded
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Reads every frame of a buffered source (for replay files).
+///
+/// # Errors
+/// Propagates I/O errors and the oversized-frame bound.
+pub fn read_all_frames<R: BufRead>(r: R) -> std::io::Result<Vec<String>> {
+    let mut fr = FrameReader::new(r);
+    let mut out = Vec::new();
+    while let Some(frame) = fr.next_frame()? {
+        match frame {
+            Frame::Line(l) => {
+                if !l.trim().is_empty() {
+                    out.push(l);
+                }
+            }
+            Frame::Oversized(n) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,548 @@
+//! The concurrent simulation server.
+//!
+//! Threading model (all std, no reactor):
+//!
+//! * the **accept loop** runs on the caller's thread over a non-blocking
+//!   listener, polling the shutdown flag between accepts;
+//! * each connection gets a **scoped connection thread** that frames
+//!   requests ([`FrameReader`]), answers control-plane ops (`health`,
+//!   `stats`, `shutdown`) inline, and pushes work-plane ops through the
+//!   bounded queue — a full queue answers `overloaded` immediately;
+//! * a **worker pool** (built on the evaluation engine's `par_map_jobs`
+//!   primitive, one long-lived loop per worker slot) pops jobs and
+//!   executes them through the process-wide engine cache, with a
+//!   `catch_unwind` fence so a panicking request becomes a structured
+//!   `internal` error instead of a dead worker.
+//!
+//! Graceful shutdown (SIGTERM, ctrl-c, or a `shutdown` request): the
+//! accept loop stops admitting connections, connection threads finish
+//! their in-flight request and close, the queue is closed and drained by
+//! the workers, and [`Server::serve`] returns the final counters for the
+//! stats line. Nothing admitted is ever dropped.
+
+use crate::probe;
+use crate::protocol::{
+    encode_response, EngineStatsWire, Frame, FrameReader, Request, Response, ScheduleStatsWire,
+    ServerStatsWire,
+};
+use crate::queue::{Bounded, PushError};
+use crate::signal;
+use revel_bench::grid;
+use revel_core::engine;
+use revel_core::sim::SimOptions;
+use revel_core::workloads::run_workload_with;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending, and the
+/// granularity at which connection threads notice shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Read timeout on connection sockets: the interval at which an idle
+/// connection thread re-checks the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7411` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads; 0 = the engine's job count (one per core).
+    pub workers: usize,
+    /// Bounded-queue capacity (admitted-but-unserved requests).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:7411".to_string(), workers: 0, queue_capacity: 64 }
+    }
+}
+
+/// Final request counters, returned by [`Server::serve`] for the shutdown
+/// stats line.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FinalStats {
+    /// Requests admitted (decoded successfully).
+    pub received: u64,
+    /// Requests completed by a worker.
+    pub completed: u64,
+    /// Requests rejected `overloaded`.
+    pub overloaded: u64,
+    /// Requests that ended `timed_out`.
+    pub timed_out: u64,
+    /// Requests answered with a structured error.
+    pub errors: u64,
+}
+
+impl std::fmt::Display for FinalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "received {}, completed {}, overloaded {}, timed_out {}, errors {}",
+            self.received, self.completed, self.overloaded, self.timed_out, self.errors
+        )
+    }
+}
+
+/// One queued job: a decoded request plus its reply channel and the
+/// wall-clock deadline fixed at admission (queueing time counts).
+struct Job {
+    req: Request,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    queue: Bounded<Job>,
+    shutdown: AtomicBool,
+    workers: usize,
+    received: AtomicU64,
+    completed: AtomicU64,
+    overloaded: AtomicU64,
+    timed_out: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn final_stats(&self) -> FinalStats {
+        FinalStats {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The simulation server. Bind, then [`Server::serve`] (blocks until
+/// shutdown).
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+impl Server {
+    /// Binds the listener (non-blocking accepts) and sizes the pool.
+    ///
+    /// # Errors
+    /// Propagates bind/configuration I/O errors.
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let workers = if cfg.workers == 0 { engine::jobs() } else { cfg.workers };
+        Ok(Server {
+            listener,
+            shared: Shared {
+                queue: Bounded::new(cfg.queue_capacity),
+                shutdown: AtomicBool::new(false),
+                workers,
+                received: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                overloaded: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            },
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` I/O errors.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Requests graceful shutdown from another thread (tests; signals use
+    /// the flag in [`signal`]).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Runs the server until shutdown; returns the final counters after
+    /// every connection is closed and every admitted job served.
+    ///
+    /// # Errors
+    /// Propagates fatal listener errors (per-connection errors only close
+    /// that connection).
+    pub fn serve(&self) -> std::io::Result<FinalStats> {
+        let shared = &self.shared;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            // The worker pool rides the engine's own fan-out primitive:
+            // one long-lived worker loop per slot.
+            let pool = scope.spawn(move || {
+                let slots: Vec<usize> = (0..shared.workers).collect();
+                engine::par_map_jobs(&slots, shared.workers, |_| worker_loop(shared));
+            });
+            let mut conns = Vec::new();
+            loop {
+                if shared.shutdown_requested() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        conns.push(scope.spawn(move || handle_connection(stream, shared)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.queue.close();
+                        return Err(e);
+                    }
+                }
+            }
+            // Drain: connections finish their in-flight request, then the
+            // workers drain everything those connections admitted.
+            for c in conns {
+                let _ = c.join();
+            }
+            shared.queue.close();
+            let _ = pool.join();
+            Ok(())
+        })?;
+        Ok(shared.final_stats())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&job.req, job.deadline)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "request panicked".to_string());
+            Response::Error { kind: "internal".to_string(), message: msg }
+        });
+        match &resp {
+            Response::TimedOut { .. } => shared.timed_out.fetch_add(1, Ordering::Relaxed),
+            Response::Error { .. } => shared.errors.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // A vanished connection is not a server error; drop the reply.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut frames = FrameReader::new(stream);
+    loop {
+        match frames.next_frame() {
+            Ok(None) => break, // client closed
+            Ok(Some(Frame::Oversized(n))) => {
+                let resp = Response::Error {
+                    kind: "oversized_frame".to_string(),
+                    message: format!(
+                        "frame of {n}+ bytes exceeds the {}-byte bound",
+                        crate::protocol::MAX_FRAME_BYTES
+                    ),
+                };
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = writer.write_all(encode_response(0, &resp).as_bytes());
+                break; // framing is lost; close the connection
+            }
+            Ok(Some(Frame::Line(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let stop = answer(&line, &mut writer, shared);
+                if stop {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown_requested() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Decodes and answers one frame; returns true when the connection should
+/// close (shutdown acknowledged).
+fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let (id, req) = match crate::protocol::decode_request(line) {
+        Ok(ok) => ok,
+        Err(e) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            let resp =
+                Response::Error { kind: "bad_request".to_string(), message: e.message.clone() };
+            let _ = writer.write_all(encode_response(0, &resp).as_bytes());
+            return false;
+        }
+    };
+    shared.received.fetch_add(1, Ordering::Relaxed);
+    // Control plane: answered inline so they work even when the queue is
+    // saturated (you can always ask a drowning server for its stats).
+    let inline = match &req {
+        Request::Health => Some(Response::Health {
+            workers: shared.workers as u64,
+            queue_capacity: shared.queue.capacity() as u64,
+        }),
+        Request::Stats => Some(stats_response(shared)),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Some(Response::ShuttingDown)
+        }
+        _ => None,
+    };
+    if let Some(resp) = inline {
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        let stop = matches!(resp, Response::ShuttingDown);
+        let _ = writer.write_all(encode_response(id, &resp).as_bytes());
+        return stop;
+    }
+    // Work plane: through the bounded queue. The deadline clock starts at
+    // admission, so time spent queued counts against the request.
+    let deadline = match &req {
+        Request::Simulate { deadline_ms: Some(ms), .. } => {
+            Some(Instant::now() + Duration::from_millis(*ms))
+        }
+        _ => None,
+    };
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_push(Job { req, deadline, reply: tx }) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Overloaded { capacity: shared.queue.capacity() as u64 };
+            let _ = writer.write_all(encode_response(id, &resp).as_bytes());
+            return false;
+        }
+        Err(PushError::Closed(_)) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error {
+                kind: "shutting_down".to_string(),
+                message: "server is draining".to_string(),
+            };
+            let _ = writer.write_all(encode_response(id, &resp).as_bytes());
+            return true;
+        }
+    }
+    // Block for the worker's answer: replies stay in request order per
+    // connection, and shutdown never abandons an admitted request.
+    let resp = rx.recv().unwrap_or_else(|_| Response::Error {
+        kind: "internal".to_string(),
+        message: "worker dropped the reply channel".to_string(),
+    });
+    let _ = writer.write_all(encode_response(id, &resp).as_bytes());
+    false
+}
+
+fn stats_response(shared: &Shared) -> Response {
+    let e = engine::stats();
+    let s = revel_core::sim::schedule_cache_stats();
+    let f = shared.final_stats();
+    Response::Stats {
+        engine: EngineStatsWire {
+            hits: e.hits,
+            misses: e.misses,
+            evictions: e.evictions,
+            capacity: e.capacity as u64,
+            run_entries: e.run_entries as u64,
+            lint_entries: e.lint_entries as u64,
+            sim_cycles: e.sim_cycles,
+            skipped_cycles: e.skipped_cycles,
+        },
+        schedule: ScheduleStatsWire { hits: s.hits, misses: s.misses, entries: s.entries as u64 },
+        server: ServerStatsWire {
+            received: f.received,
+            completed: f.completed,
+            overloaded: f.overloaded,
+            timed_out: f.timed_out,
+            errors: f.errors,
+        },
+    }
+}
+
+/// Executes one work-plane request (on a worker thread).
+fn execute(req: &Request, deadline: Option<Instant>) -> Response {
+    match req {
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            Response::Slept { ms: *ms }
+        }
+        Request::Simulate { bench, params, arch, max_cycles, reference_stepper, .. } => {
+            simulate(bench, params, arch, deadline, *max_cycles, *reference_stepper)
+        }
+        Request::Lint { bench, params, arch } => match grid::resolve(bench, params, arch) {
+            Some((b, cfg)) => {
+                let diags = b.lint(&cfg);
+                Response::Lint {
+                    clean: diags.is_empty(),
+                    diagnostics: diags.iter().map(|d| d.to_string()).collect(),
+                }
+            }
+            None => unknown_bench(bench, params, arch),
+        },
+        Request::Compare { bench, params } => match grid::find_bench(bench, params) {
+            Some(b) => match b.compare() {
+                Ok(c) => Response::Comparison {
+                    revel_cycles: c.revel.cycles,
+                    systolic_cycles: c.systolic_cycles,
+                    dataflow_cycles: c.dataflow_cycles,
+                },
+                Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+            },
+            None => unknown_bench(bench, params, "-"),
+        },
+        // Control-plane ops never reach the queue.
+        Request::Health | Request::Stats | Request::Shutdown => Response::Error {
+            kind: "internal".to_string(),
+            message: "control-plane request routed to a worker".to_string(),
+        },
+    }
+}
+
+fn unknown_bench(bench: &str, params: &str, arch: &str) -> Response {
+    Response::Error {
+        kind: "unknown_bench".to_string(),
+        message: format!("no evaluation-grid cell '{bench}' params='{params}' arch='{arch}'"),
+    }
+}
+
+fn simulate(
+    bench: &str,
+    params: &str,
+    arch: &str,
+    deadline: Option<Instant>,
+    max_cycles: Option<u64>,
+    reference_stepper: bool,
+) -> Response {
+    if bench == probe::BENCH_NAME {
+        return match probe::run(max_cycles, deadline) {
+            Ok(report) => Response::TimedOut {
+                cycles: report.cycles,
+                deadline_expired: report.deadline_expired,
+                deadlock: report.deadlock.as_ref().map(|d| d.to_string()),
+            },
+            Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+        };
+    }
+    let Some((b, cfg)) = grid::resolve(bench, params, arch) else {
+        return unknown_bench(bench, params, arch);
+    };
+    let result = if max_cycles.is_some() || reference_stepper {
+        // Option overrides change what a run *means*; they bypass the
+        // cache so a truncated or oracle run is never memoized as the
+        // configuration's canonical result.
+        let opts = SimOptions {
+            max_cycles: max_cycles.unwrap_or(SimOptions::default().max_cycles),
+            reference_stepper,
+            wall_deadline: deadline,
+            ..cfg.sim_options()
+        };
+        run_workload_with(b.workload().as_ref(), &cfg, opts)
+    } else {
+        b.run_with_deadline(&cfg, deadline)
+    };
+    match result {
+        Ok(run) => {
+            if run.report.timed_out {
+                Response::TimedOut {
+                    cycles: run.report.cycles,
+                    deadline_expired: run.report.deadline_expired,
+                    deadlock: run.report.deadlock.as_ref().map(|d| d.to_string()),
+                }
+            } else {
+                Response::Result {
+                    cycles: run.cycles,
+                    commands_issued: run.report.commands_issued,
+                    verified: run.verified.is_ok(),
+                    error: run.verified.err(),
+                }
+            }
+        }
+        Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+    }
+}
+
+/// Convenience used by `Bench`-free callers (tests): the response the
+/// server would produce for a completed local run — kept here so the
+/// loopback byte-comparison has a single source of truth.
+pub fn response_for_run(run: &revel_core::workloads::WorkloadRun) -> Response {
+    if run.report.timed_out {
+        Response::TimedOut {
+            cycles: run.report.cycles,
+            deadline_expired: run.report.deadline_expired,
+            deadlock: run.report.deadlock.as_ref().map(|d| d.to_string()),
+        }
+    } else {
+        Response::Result {
+            cycles: run.cycles,
+            commands_issued: run.report.commands_issued,
+            verified: run.verified.is_ok(),
+            error: run.verified.clone().err(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_and_probe_execute_without_a_server() {
+        assert_eq!(execute(&Request::Sleep { ms: 1 }, None), Response::Slept { ms: 1 });
+        let resp = execute(
+            &Request::Simulate {
+                bench: probe::BENCH_NAME.to_string(),
+                params: String::new(),
+                arch: String::new(),
+                deadline_ms: None,
+                max_cycles: Some(50_000),
+                reference_stepper: false,
+            },
+            None,
+        );
+        match resp {
+            Response::TimedOut { deadline_expired, deadlock, .. } => {
+                assert!(!deadline_expired);
+                assert!(deadlock.expect("snapshot").contains("DEADLOCK"));
+            }
+            other => panic!("probe must time out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_cells_get_structured_errors() {
+        let resp = execute(
+            &Request::Simulate {
+                bench: "qr".into(),
+                params: "n=999".into(),
+                arch: "revel".into(),
+                deadline_ms: None,
+                max_cycles: None,
+                reference_stepper: false,
+            },
+            None,
+        );
+        assert!(matches!(resp, Response::Error { ref kind, .. } if kind == "unknown_bench"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Minimal async-signal-safe shutdown flag.
+//!
+//! The workspace carries no dependencies, so SIGTERM/SIGINT handling is
+//! done with a direct `extern "C"` declaration of libc's `signal` (std
+//! already links libc on every unix target — this adds no dependency).
+//! The handler does the only thing that is async-signal-safe: it stores
+//! into an `AtomicBool`, which the server's accept loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been delivered (always false on
+/// non-unix targets and before [`install`]).
+pub fn shutdown_requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/driver hook: raise the flag without a signal.
+pub fn request_shutdown() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // libc: sighandler_t signal(int signum, sighandler_t handler);
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: allocation, locks, and I/O are all
+        // forbidden in a signal handler.
+        super::REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler: extern "C" fn(i32) = on_signal;
+        // SAFETY: `signal` is the C standard library's handler
+        // registration; the handler above is async-signal-safe (a single
+        // atomic store, no allocation/locks/syscalls).
+        unsafe {
+            signal(SIGTERM, handler as usize);
+            signal(SIGINT, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers that raise the shutdown flag (no-op
+/// off unix; the `shutdown` request remains available everywhere).
+pub fn install() {
+    imp::install();
+}

@@ -1,0 +1,175 @@
+//! Wire-protocol invariants: every request/response variant survives an
+//! encode → decode round trip byte-exactly, and hostile frames (malformed
+//! JSON, schema violations, oversized lines) are rejected as errors — never
+//! panics.
+
+use revel_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_all_frames,
+    EngineStatsWire, Frame, FrameReader, Request, Response, ScheduleStatsWire, ServerStatsWire,
+    MAX_FRAME_BYTES,
+};
+
+fn every_request() -> Vec<Request> {
+    vec![
+        Request::Health,
+        Request::Stats,
+        Request::Shutdown,
+        Request::Sleep { ms: 250 },
+        Request::Simulate {
+            bench: "qr".into(),
+            params: "n=12".into(),
+            arch: "revel".into(),
+            deadline_ms: None,
+            max_cycles: None,
+            reference_stepper: false,
+        },
+        Request::Simulate {
+            bench: "deadlock-probe".into(),
+            params: String::new(),
+            arch: String::new(),
+            deadline_ms: Some(1500),
+            max_cycles: Some(100_000),
+            reference_stepper: true,
+        },
+        Request::Lint {
+            bench: "fir".into(),
+            params: "m=37 n=1024".into(),
+            arch: "systolic".into(),
+        },
+        Request::Compare { bench: "gemm".into(), params: "12x16x64".into() },
+    ]
+}
+
+fn every_response() -> Vec<Response> {
+    vec![
+        Response::Health { workers: 8, queue_capacity: 64 },
+        Response::Stats {
+            engine: EngineStatsWire {
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+                capacity: 1024,
+                run_entries: 2,
+                lint_entries: 1,
+                sim_cycles: 123_456_789,
+                skipped_cycles: 100_000_000,
+            },
+            schedule: ScheduleStatsWire { hits: 40, misses: 5, entries: 5 },
+            server: ServerStatsWire {
+                received: 50,
+                completed: 48,
+                overloaded: 1,
+                timed_out: 2,
+                errors: 1,
+            },
+        },
+        Response::ShuttingDown,
+        Response::Slept { ms: 250 },
+        Response::Result { cycles: 7185, commands_issued: 120, verified: true, error: None },
+        Response::Result {
+            cycles: 7185,
+            commands_issued: 120,
+            verified: false,
+            error: Some("lane 3 diverged".into()),
+        },
+        Response::TimedOut { cycles: 100_000, deadline_expired: false, deadlock: None },
+        Response::TimedOut {
+            cycles: 50_000,
+            deadline_expired: true,
+            deadlock: Some("=== DEADLOCK at cycle 50000 ===\nlane 0: waiting".into()),
+        },
+        Response::Comparison { revel_cycles: 7185, systolic_cycles: 21019, dataflow_cycles: 14000 },
+        Response::Lint { clean: true, diagnostics: vec![] },
+        Response::Lint {
+            clean: false,
+            diagnostics: vec!["W001: unused port".into(), "E002: deadlock".into()],
+        },
+        Response::Overloaded { capacity: 64 },
+        Response::Error { kind: "bad_request".into(), message: "missing field 'op'".into() },
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    for (i, req) in every_request().into_iter().enumerate() {
+        let id = (i as u64) * 7 + 1;
+        let frame = encode_request(id, &req);
+        assert!(frame.ends_with('\n') && frame.len() <= MAX_FRAME_BYTES);
+        let (rid, back) = decode_request(&frame).unwrap_or_else(|e| panic!("{req:?}: {e}"));
+        assert_eq!(rid, id);
+        assert_eq!(back, req);
+        // Re-encoding is byte-stable (deterministic field order).
+        assert_eq!(encode_request(id, &back), frame);
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for (i, resp) in every_response().into_iter().enumerate() {
+        let id = (i as u64) * 3 + 2;
+        let frame = encode_response(id, &resp);
+        assert!(frame.ends_with('\n') && frame.len() <= MAX_FRAME_BYTES);
+        let (rid, back) = decode_response(&frame).unwrap_or_else(|e| panic!("{resp:?}: {e}"));
+        assert_eq!(rid, id);
+        assert_eq!(back, resp);
+        assert_eq!(encode_response(id, &back), frame);
+    }
+}
+
+#[test]
+fn malformed_frames_are_rejected_not_panics() {
+    for bad in [
+        "",
+        "not json",
+        "[1,2,3]",
+        "{\"id\":1}",
+        "{\"op\":\"health\"}",
+        "{\"id\":\"x\",\"op\":\"health\"}",
+        "{\"id\":1,\"op\":\"conquer\"}",
+        "{\"id\":1,\"op\":\"sleep\"}",
+        "{\"id\":1,\"op\":\"simulate\",\"bench\":\"qr\"}",
+        "{\"id\":1,\"op\":\"simulate\",\"bench\":\"qr\",\"params\":\"n=12\",\"arch\":\"revel\",\"deadline_ms\":-5}",
+        "{\"id\":-1,\"op\":\"health\"}",
+    ] {
+        assert!(decode_request(bad).is_err(), "must reject {bad:?}");
+    }
+    for bad in
+        ["{}", "{\"id\":1}", "{\"id\":1,\"type\":\"victory\"}", "{\"id\":1,\"type\":\"result\"}"]
+    {
+        assert!(decode_response(bad).is_err(), "must reject {bad:?}");
+    }
+}
+
+#[test]
+fn oversized_frames_are_flagged_during_accumulation() {
+    let huge = format!("{}\n", "x".repeat(MAX_FRAME_BYTES + 100));
+    let mut fr = FrameReader::new(huge.as_bytes());
+    match fr.next_frame().expect("reads") {
+        Some(Frame::Oversized(n)) => assert!(n > MAX_FRAME_BYTES),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    // A frame exactly at the bound still passes.
+    let fit = format!("{}\n", "y".repeat(MAX_FRAME_BYTES - 1));
+    let mut fr = FrameReader::new(fit.as_bytes());
+    assert!(
+        matches!(fr.next_frame().expect("reads"), Some(Frame::Line(l)) if l.len() == MAX_FRAME_BYTES - 1)
+    );
+}
+
+#[test]
+fn frame_reader_splits_lines_and_handles_crlf() {
+    let input = "alpha\r\nbeta\n\ngamma"; // no trailing newline on gamma
+    let mut fr = FrameReader::new(input.as_bytes());
+    assert_eq!(fr.next_frame().unwrap(), Some(Frame::Line("alpha".into())));
+    assert_eq!(fr.next_frame().unwrap(), Some(Frame::Line("beta".into())));
+    assert_eq!(fr.next_frame().unwrap(), Some(Frame::Line(String::new())));
+    // An unterminated trailing partial is discarded at EOF (a frame is a line).
+    assert_eq!(fr.next_frame().unwrap(), None);
+}
+
+#[test]
+fn read_all_frames_skips_blanks() {
+    let file = "a\n\n  \nb\n";
+    let frames = read_all_frames(std::io::BufReader::new(file.as_bytes())).unwrap();
+    assert_eq!(frames, vec!["a".to_string(), "b".to_string()]);
+}

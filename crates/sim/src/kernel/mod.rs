@@ -78,8 +78,10 @@ pub trait NextEvent {
 pub(crate) struct Execution {
     /// Cycles from start to completion (or budget exhaustion).
     pub cycles: u64,
-    /// True if the cycle budget ran out first.
+    /// True if the cycle budget or the wall-clock deadline ran out first.
     pub timed_out: bool,
+    /// True if the cap that fired was the wall-clock deadline.
+    pub deadline_expired: bool,
     /// Skip accounting (all zeros under the reference stepper).
     pub stats: StepperStats,
 }
@@ -106,9 +108,17 @@ impl Machine {
         max_cycles: u64,
     ) -> Execution {
         let reference = self.opts.reference_stepper;
+        let deadline = self.opts.wall_deadline;
         let mut now = 0u64;
         let mut timed_out = false;
+        let mut deadline_expired = false;
         let mut stats = StepperStats::default();
+        // Host-loop iterations between wall-clock checks. `Instant::now()`
+        // is cheap but not free; checking every iteration would tax the
+        // reference stepper's 50M-cycle walks. 4096 iterations bound the
+        // overshoot to well under a millisecond of simulated work.
+        const DEADLINE_STRIDE: u64 = 4096;
+        let mut iters = 0u64;
         loop {
             if self.program_finished(program) {
                 break;
@@ -116,6 +126,17 @@ impl Machine {
             if now >= max_cycles {
                 timed_out = true;
                 break;
+            }
+            if let Some(d) = deadline {
+                // Stride-gated: the deadline is a host-side safety cap, not
+                // an architectural event, so an inexact firing cycle is fine
+                // (the run is declared hung either way).
+                if iters.is_multiple_of(DEADLINE_STRIDE) && std::time::Instant::now() >= d {
+                    timed_out = true;
+                    deadline_expired = true;
+                    break;
+                }
+                iters += 1;
             }
             let progress = self.step(now, program, schedules);
             now += 1;
@@ -137,7 +158,7 @@ impl Machine {
                 now = horizon;
             }
         }
-        Execution { cycles: now, timed_out, stats }
+        Execution { cycles: now, timed_out, deadline_expired, stats }
     }
 
     /// One machine cycle. Returns `true` iff any component's persistent

@@ -63,7 +63,10 @@ mod snapshot;
 mod stats;
 
 pub use kernel::NextEvent;
-pub use machine::{force_reference_stepper, schedule_cache_stats, Machine, SimError, SimOptions};
+pub use machine::{
+    force_reference_stepper, schedule_cache_stats, Machine, ScheduleCacheStats, SimError,
+    SimOptions,
+};
 pub use memory::Scratchpad;
 pub use port::{InPort, OutPort};
 // The program representation lives in `revel-prog` (so the static verifier

@@ -39,6 +39,14 @@ pub struct SimOptions {
     pub predication: bool,
     /// Cycle budget before a run is declared hung.
     pub max_cycles: u64,
+    /// Wall-clock deadline for the host-side run loop, composing with the
+    /// cycle budget: whichever cap is crossed first ends the run as
+    /// `timed_out` (a deadline expiry additionally sets
+    /// [`RunReport::deadline_expired`](crate::RunReport::deadline_expired)).
+    /// `None` (the default) disables the check entirely, keeping batch runs
+    /// bit-deterministic; servers thread a per-request deadline here so one
+    /// slow simulation cannot hold a worker hostage.
+    pub wall_deadline: Option<std::time::Instant>,
     /// Run the `revel-verify` program lints before simulating and refuse
     /// to run programs with error-severity findings. Warnings never block.
     /// Opt out to simulate a deliberately broken program.
@@ -54,6 +62,7 @@ impl Default for SimOptions {
         SimOptions {
             predication: true,
             max_cycles: 50_000_000,
+            wall_deadline: None,
             verify: true,
             reference_stepper: FORCE_REFERENCE_STEPPER.load(Ordering::Relaxed),
         }
@@ -119,9 +128,43 @@ static SCHEDULE_CACHE: OnceLock<ScheduleCache> = OnceLock::new();
 static SCHEDULE_HITS: AtomicU64 = AtomicU64::new(0);
 static SCHEDULE_MISSES: AtomicU64 = AtomicU64::new(0);
 
-/// (hits, misses) of the process-wide spatial-schedule cache.
-pub fn schedule_cache_stats() -> (u64, u64) {
-    (SCHEDULE_HITS.load(Ordering::Relaxed), SCHEDULE_MISSES.load(Ordering::Relaxed))
+/// One consistent read of the process-wide spatial-schedule cache counters.
+///
+/// The split is *exact*: a miss is counted only by the thread whose compile
+/// actually landed in the cache, so `misses == entries` always, and a
+/// racing duplicate compile (which discards its result) counts as a hit.
+/// Hits are therefore `lookups - entries` — both deterministic for every
+/// worker count — which is what lets harness footers print this on the
+/// byte-diffed stdout stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleCacheStats {
+    /// Lookups served by an existing entry (including lost insert races).
+    pub hits: u64,
+    /// Compiles that created a new cache entry (`== entries`).
+    pub misses: u64,
+    /// Distinct compiled schedule sets currently cached.
+    pub entries: usize,
+}
+
+impl fmt::Display for ScheduleCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule cache: {} hit(s), {} miss(es), {} entries",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// Snapshot of the process-wide spatial-schedule cache counters.
+pub fn schedule_cache_stats() -> ScheduleCacheStats {
+    let entries =
+        SCHEDULE_CACHE.get().map(|c| c.lock().expect("schedule cache poisoned").len()).unwrap_or(0);
+    ScheduleCacheStats {
+        hits: SCHEDULE_HITS.load(Ordering::Relaxed),
+        misses: SCHEDULE_MISSES.load(Ordering::Relaxed),
+        entries,
+    }
 }
 
 /// Process-wide cache of pre-simulation lint results.
@@ -296,6 +339,7 @@ impl Machine {
             events,
             commands_issued: self.control.commands_issued,
             timed_out: exec.timed_out,
+            deadline_expired: exec.deadline_expired,
             deadlock,
             stepper: exec.stats,
         })
@@ -315,10 +359,12 @@ impl Machine {
             SCHEDULE_HITS.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
-        SCHEDULE_MISSES.fetch_add(1, Ordering::Relaxed);
         // Compile outside the lock: SA placement is the expensive part, and
         // a racing duplicate compile is deterministic, so last-writer-wins
-        // inserts identical data.
+        // inserts identical data. The hit/miss split is decided at insert
+        // time — only the compile that lands counts as a miss, a lost race
+        // counts as a hit — so `misses == entries` exactly and the split is
+        // deterministic for every worker count (see [`ScheduleCacheStats`]).
         let mesh = Mesh::for_lane(&self.cfg.lane);
         let scheduler = SpatialScheduler::new(mesh)
             .with_dpe_slots(self.cfg.lane.dpe_instr_slots)
@@ -328,12 +374,17 @@ impl Machine {
             schedules.push(scheduler.schedule(regions)?.regions);
         }
         let arc = Arc::new(schedules);
-        cache
-            .lock()
-            .expect("schedule cache poisoned")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&arc));
-        Ok(arc)
+        match cache.lock().expect("schedule cache poisoned").entry(key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                SCHEDULE_MISSES.fetch_add(1, Ordering::Relaxed);
+                v.insert(Arc::clone(&arc));
+                Ok(arc)
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                SCHEDULE_HITS.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(o.get()))
+            }
+        }
     }
 
     /// Runs the pre-simulation program lints through the process-wide lint

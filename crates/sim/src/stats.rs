@@ -164,6 +164,13 @@ pub struct RunReport {
     /// True if the run hit the cycle limit before completing (deadlock or
     /// runaway program).
     pub timed_out: bool,
+    /// True if the cap that ended the run was the *wall-clock* deadline
+    /// ([`SimOptions::wall_deadline`](crate::SimOptions::wall_deadline))
+    /// rather than the cycle budget. Host-side accounting like
+    /// [`RunReport::stepper`]: deliberately excluded from the observable
+    /// report and the canonical text, because where the wall clock lands is
+    /// not deterministic.
+    pub deadline_expired: bool,
     /// Machine state at timeout (`Some` iff [`RunReport::timed_out`]).
     pub deadlock: Option<DeadlockSnapshot>,
     /// Host-side loop accounting (not architecturally observable).
@@ -327,6 +334,7 @@ mod tests {
             events: EventCounts::default(),
             commands_issued: 3,
             timed_out: false,
+            deadline_expired: false,
             deadlock: None,
             stepper: StepperStats { skipped_cycles: skipped, horizon_jumps: skipped.min(1) },
         }

@@ -306,6 +306,49 @@ fn deadlocked_program_times_out_identically() {
 }
 
 #[test]
+fn wall_deadline_composes_with_cycle_budget() {
+    // A deadlocked program on the *reference* stepper walks every cycle, so
+    // a huge budget plus an already-expired wall deadline must end the run
+    // via the deadline: timed_out, deadline_expired, snapshot attached.
+    let prog = deadlock_program();
+    let opts = SimOptions {
+        max_cycles: 50_000_000,
+        wall_deadline: Some(std::time::Instant::now()),
+        verify: false,
+        reference_stepper: true,
+        ..SimOptions::default()
+    };
+    let mut m = Machine::new(RevelConfig::single_lane(), opts);
+    let report = m.run(&prog).expect("runs");
+    assert!(report.timed_out, "an expired deadline must surface as timed_out");
+    assert!(report.deadline_expired, "the deadline (not the budget) must be the cause");
+    assert!(report.deadlock.is_some(), "deadline timeouts still carry the machine snapshot");
+    assert!(report.cycles < 50_000_000, "the budget was not the cap that fired");
+
+    // The budget path is unchanged: no deadline ⇒ deadline_expired stays
+    // false even when the cycle budget fires.
+    let opts = SimOptions { max_cycles: 3_000, verify: false, ..SimOptions::default() };
+    let mut m = Machine::new(RevelConfig::single_lane(), opts);
+    let report = m.run(&prog).expect("runs");
+    assert!(report.timed_out && !report.deadline_expired);
+
+    // A generous deadline on a live program must not perturb the run.
+    let live = temporal_program(31);
+    let with = SimOptions {
+        wall_deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(600)),
+        verify: false,
+        ..SimOptions::default()
+    };
+    let without = SimOptions { verify: false, ..SimOptions::default() };
+    let mut ma = Machine::new(RevelConfig::single_lane(), with);
+    let mut mb = Machine::new(RevelConfig::single_lane(), without);
+    let ra = ma.run(&live).expect("runs");
+    let rb = mb.run(&live).expect("runs");
+    assert_eq!(ra.canonical_text(), rb.canonical_text(), "a slack deadline must be invisible");
+    assert!(!ra.deadline_expired);
+}
+
+#[test]
 fn snapshot_present_iff_timed_out() {
     let dead = deadlock_program();
     let (fast, reference) = assert_bit_identical(&dead, 1, 2_000);
@@ -331,16 +374,19 @@ fn event_horizon_actually_skips_on_long_stalls() {
 #[test]
 fn schedule_cache_serves_repeated_runs() {
     let prog = random_program(777_777);
-    let (h0, m0) = revel_sim::schedule_cache_stats();
+    let s0 = revel_sim::schedule_cache_stats();
     let mut m = Machine::new(
         RevelConfig::single_lane(),
         SimOptions { verify: false, ..SimOptions::default() },
     );
     m.run(&prog).expect("first run");
     m.run(&prog).expect("second run");
-    let (h1, m1) = revel_sim::schedule_cache_stats();
+    let s1 = revel_sim::schedule_cache_stats();
     // Other tests run concurrently in this process, so assert deltas as
     // lower bounds: at least one miss (first compile) and one hit (rerun).
-    assert!(m1 > m0, "expected a schedule-cache miss on first run");
-    assert!(h1 > h0, "expected a schedule-cache hit on repeated run");
+    assert!(s1.misses > s0.misses, "expected a schedule-cache miss on first run");
+    assert!(s1.hits > s0.hits, "expected a schedule-cache hit on repeated run");
+    // The exactness invariant the snapshot struct exists for: a miss is
+    // counted iff an entry landed, so the two are always equal.
+    assert_eq!(s1.misses as usize, s1.entries, "misses must equal cached entries: {s1:?}");
 }

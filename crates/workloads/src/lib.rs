@@ -37,6 +37,6 @@ pub use qr::Qr;
 pub use solver::Solver;
 pub use suite::{
     apply_init, push_cmd, replicate_for_batch, run_built, run_built_with, run_workload,
-    BuiltKernel, CheckFn, MemInit, Workload, WorkloadRun,
+    run_workload_with, BuiltKernel, CheckFn, MemInit, Workload, WorkloadRun,
 };
 pub use svd::Svd;

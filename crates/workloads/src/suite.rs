@@ -128,8 +128,22 @@ impl WorkloadRun {
 /// # Errors
 /// Propagates simulator errors (malformed program / unschedulable config).
 pub fn run_workload(workload: &dyn Workload, cfg: &BuildCfg) -> Result<WorkloadRun, SimError> {
+    run_workload_with(workload, cfg, cfg.sim_options())
+}
+
+/// [`run_workload`] under explicit simulator options — the entry point for
+/// callers that thread per-run caps (a wall-clock deadline, a reduced cycle
+/// budget, the reference stepper) into an otherwise standard build.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_workload_with(
+    workload: &dyn Workload,
+    cfg: &BuildCfg,
+    opts: SimOptions,
+) -> Result<WorkloadRun, SimError> {
     let built = workload.build(cfg);
-    run_built(&built, cfg)
+    run_built_with(&built, cfg, opts)
 }
 
 /// Runs an already-built kernel.
@@ -241,6 +255,7 @@ mod tests {
             events: Default::default(),
             commands_issued: 1,
             timed_out: false,
+            deadline_expired: false,
             deadlock: None,
             stepper: Default::default(),
         };
