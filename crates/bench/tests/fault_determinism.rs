@@ -1,0 +1,116 @@
+//! The fault-determinism property over the full 42-cell evaluation grid:
+//! a seeded [`FaultPlan`] makes every run a pure function of its seed.
+//! The same seed must produce a byte-identical canonical report — fault
+//! snapshot included — whether the grid is swept on one thread or four,
+//! and whether the cycles come from the event-horizon kernel or the
+//! naive reference stepper. Any scheduling- or skip-dependent fault
+//! application would show up here as a byte diff.
+//!
+//! Budgets are deliberately small (12k cycles, 8k fault window) so the
+//! reference-stepper leg stays cheap in debug builds: cells that would
+//! run longer simply report `timed_out` at the cap, which is itself part
+//! of the canonical text under comparison.
+
+use revel_bench::grid::{evaluation_grid, Cell};
+use revel_core::engine;
+use revel_core::sim::{FaultPlan, SimOptions};
+
+/// Cycle budget for every run; large cells hit it and report timed_out.
+const MAX_CYCLES: u64 = 12_000;
+/// Fault events land inside the budget so plenty of them apply.
+const FAULT_WINDOW: u64 = 8_000;
+/// Events drawn per cell.
+const FAULT_COUNT: u32 = 6;
+
+/// Per-cell seed: mixed from the cell index so every cell exercises a
+/// different event pattern, deterministically.
+fn cell_seed(i: usize) -> u64 {
+    0xFA17_5EED ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn cell_opts(cell: &Cell, seed: u64, reference_stepper: bool) -> SimOptions {
+    SimOptions {
+        max_cycles: MAX_CYCLES,
+        reference_stepper,
+        fault_plan: Some(FaultPlan::new(seed, FAULT_COUNT, FAULT_WINDOW)),
+        ..cell.cfg.sim_options()
+    }
+}
+
+/// Runs every grid cell under its seeded plan and returns the canonical
+/// report texts (which embed the fault snapshot). `run_uncached` bypasses
+/// the engine's result cache, so no leg of the comparison can see another
+/// leg's memoized answer.
+fn sweep(cells: &[(usize, Cell)], jobs: usize, reference_stepper: bool) -> Vec<(String, usize)> {
+    engine::par_map_jobs(cells, jobs, |(i, cell)| {
+        let opts = cell_opts(cell, cell_seed(*i), reference_stepper);
+        let run = engine::run_uncached(cell.bench, &cell.cfg, opts).unwrap_or_else(|e| {
+            panic!("cell {i} ({} [{}]) simulates: {e}", cell.bench.name(), cell.arch)
+        });
+        let applied = run.report.fault.as_ref().map_or(0, |s| s.applied_count());
+        (run.report.canonical_text(), applied)
+    })
+}
+
+#[test]
+fn seeded_fault_plans_are_deterministic_across_jobs_and_steppers() {
+    let cells: Vec<(usize, Cell)> = evaluation_grid().into_iter().enumerate().collect();
+    assert_eq!(cells.len(), 42, "the full evaluation grid");
+
+    let serial = sweep(&cells, 1, false);
+    let parallel = sweep(&cells, 4, false);
+    let reference = sweep(&cells, 4, true);
+
+    let mut applied_anywhere = 0usize;
+    for (k, (i, cell)) in cells.iter().enumerate() {
+        let label =
+            format!("cell {i}: {} {} [{}]", cell.bench.name(), cell.bench.params(), cell.arch);
+        assert_eq!(serial[k].0, parallel[k].0, "{label}: --jobs 1 vs --jobs 4 diverged");
+        assert_eq!(
+            serial[k].0, reference[k].0,
+            "{label}: event-horizon vs reference stepper diverged"
+        );
+        // The snapshot is part of the canonical text; every cell carried a
+        // plan, so every report must carry its fault section.
+        assert!(
+            serial[k].0.contains("faults:"),
+            "{label}: report lost its fault snapshot:\n{}",
+            serial[k].0
+        );
+        if serial[k].1 > 0 {
+            applied_anywhere += 1;
+        }
+    }
+    // The property is vacuous if no event ever mutates state: with 42
+    // cells x 6 events inside the window, a healthy injector lands many.
+    assert!(
+        applied_anywhere >= 5,
+        "only {applied_anywhere} cell(s) applied a fault — the injector is not reaching live state"
+    );
+}
+
+/// Re-running one cell with the same seed is byte-stable, and a different
+/// seed genuinely changes the event pattern (the plan is not ignored).
+#[test]
+fn same_seed_repeats_and_different_seeds_differ() {
+    let cell = evaluation_grid()
+        .into_iter()
+        .find(|c| c.bench.name() == "qr" && c.arch == "revel")
+        .expect("qr/revel cell in grid");
+
+    let run = |seed: u64| {
+        engine::run_uncached(cell.bench, &cell.cfg, cell_opts(&cell, seed, false))
+            .expect("qr simulates")
+            .report
+            .canonical_text()
+    };
+    let first = run(7);
+    assert_eq!(first, run(7), "same seed, same bytes");
+
+    // Some nearby seed must produce a different snapshot; scanning a
+    // fixed range keeps this deterministic without hand-picking a seed.
+    assert!(
+        (8..40).any(|s| run(s) != first),
+        "every seed in 8..40 matched seed 7 byte-for-byte — the plan seed is being ignored"
+    );
+}

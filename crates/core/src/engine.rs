@@ -49,7 +49,8 @@
 
 use crate::suite::{Bench, Comparison};
 use revel_compiler::BuildCfg;
-use revel_sim::{SimError, SimOptions};
+use revel_fabric::FabricMask;
+use revel_sim::{FaultPlan, SimError, SimOptions};
 use revel_workloads::{run_workload_with, WorkloadRun};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -172,6 +173,11 @@ struct Engine {
     // totals are deterministic for every --jobs setting.
     sim_cycles: AtomicU64,
     skipped_cycles: AtomicU64,
+    // Runs that went through [`run_uncached`] because they carried a fault
+    // plan or a fabric mask. The run key does not include `SimOptions`, so
+    // such runs must bypass the cache entirely; this counter is the proof
+    // (asserted by the degradation sweep) that none of them touched it.
+    fault_bypasses: AtomicU64,
 }
 
 fn engine() -> &'static Engine {
@@ -185,6 +191,7 @@ fn engine() -> &'static Engine {
         evictions: AtomicU64::new(0),
         sim_cycles: AtomicU64::new(0),
         skipped_cycles: AtomicU64::new(0),
+        fault_bypasses: AtomicU64::new(0),
     })
 }
 
@@ -381,8 +388,11 @@ pub(crate) fn run_cached_deadline(
         // A deadline-expired run is not a property of the configuration
         // (the wall clock fired at an arbitrary cycle); caching it would
         // serve bogus timeouts to every later request. Leave the claim to
-        // the drop guard instead.
-        if !run.report.deadline_expired {
+        // the drop guard instead. The faulted check is defense in depth:
+        // fault-injected runs are supposed to arrive via [`run_uncached`]
+        // and never reach this path, but a corrupted result must not be
+        // served to later clean requests under any circumstances.
+        if !run.report.deadline_expired && !run.report.faulted() {
             e.sim_cycles.fetch_add(run.report.cycles, Ordering::Relaxed);
             e.skipped_cycles.fetch_add(run.report.stepper.skipped_cycles, Ordering::Relaxed);
             let evicted = {
@@ -395,6 +405,56 @@ pub(crate) fn run_cached_deadline(
         }
     }
     result
+}
+
+/// Runs `bench` under explicit [`SimOptions`], bypassing the run cache in
+/// both directions: no lookup, no insert. The cache key deliberately
+/// excludes `SimOptions` (clean runs are a pure function of the
+/// configuration), so any run whose options perturb results — a fault
+/// plan, a fabric mask, a reduced budget — must go through here. Each call
+/// increments [`CacheStats::fault_bypasses`], which the degradation sweep
+/// uses to prove no perturbed run touched the cache.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_uncached(
+    bench: Bench,
+    cfg: &BuildCfg,
+    opts: SimOptions,
+) -> Result<WorkloadRun, SimError> {
+    engine().fault_bypasses.fetch_add(1, Ordering::Relaxed);
+    run_workload_with(bench.workload().as_ref(), cfg, opts)
+}
+
+/// [`run_uncached`] with `plan` injected: the simulator applies the plan's
+/// seeded fault events at their exact cycles and reports the outcome in
+/// [`revel_sim::RunReport::fault`]. Never cached.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_fault_injected(
+    bench: Bench,
+    cfg: &BuildCfg,
+    plan: FaultPlan,
+) -> Result<WorkloadRun, SimError> {
+    let opts = SimOptions { fault_plan: Some(plan), ..cfg.sim_options() };
+    run_uncached(bench, cfg, opts)
+}
+
+/// [`run_uncached`] on a degraded fabric: the scheduler re-places and
+/// re-routes around the PEs and links masked out by `mask` before the run.
+/// Never cached (the key does not carry the mask).
+///
+/// # Errors
+/// Propagates simulator errors, including `Unschedulable`/`Unroutable`
+/// when too little fabric survives the mask.
+pub fn run_degraded(
+    bench: Bench,
+    cfg: &BuildCfg,
+    mask: FabricMask,
+) -> Result<WorkloadRun, SimError> {
+    let opts = SimOptions { fabric_mask: mask, ..cfg.sim_options() };
+    run_uncached(bench, cfg, opts)
 }
 
 /// Runs REVEL and both spatial baselines for `bench` through the cache.
@@ -458,6 +518,11 @@ pub struct CacheStats {
     /// Of [`CacheStats::sim_cycles`], cycles the event-horizon kernel
     /// skipped rather than stepped (0 under `--reference-stepper`).
     pub skipped_cycles: u64,
+    /// Runs routed through [`run_uncached`] (fault-injected or degraded):
+    /// they neither read nor wrote the cache. Not shown in the standard
+    /// footer (clean-run output stays byte-identical); the degradation
+    /// sweep prints it directly.
+    pub fault_bypasses: u64,
 }
 
 impl CacheStats {
@@ -518,6 +583,7 @@ pub fn stats() -> CacheStats {
         lint_entries: e.lints.lock().expect("lint cache lock").ready_len(),
         sim_cycles: e.sim_cycles.load(Ordering::Relaxed),
         skipped_cycles: e.skipped_cycles.load(Ordering::Relaxed),
+        fault_bypasses: e.fault_bypasses.load(Ordering::Relaxed),
     }
 }
 
@@ -714,6 +780,53 @@ mod tests {
     }
 
     #[test]
+    fn fault_runs_bypass_and_never_poison_the_cache() {
+        use revel_sim::{FaultPlan, FAULT_DEAD_PE};
+        // A key no other test in this binary touches, so the clean lookup
+        // below exercises a genuinely cold entry.
+        let b = Bench::Qr { n: 12 };
+        let cfg = BuildCfg::revel(1);
+        let before = stats();
+        // Enough dead-PE events across a wide window that at least one
+        // lands on a configured region (seed-pinned; asserted below).
+        let plan = FaultPlan::new(7, 8, 4096).with_kinds(FAULT_DEAD_PE);
+        let run = run_fault_injected(b, &cfg, plan).expect("runs");
+        let snap = run.report.fault.as_ref().expect("fault plan carried => snapshot present");
+        assert!(snap.any_applied(), "seed 7 must land at least one dead-PE event");
+        assert!(run.report.faulted());
+        assert_eq!(run.verified, Err("fault injected".to_string()));
+        let mid = stats();
+        assert!(
+            mid.fault_bypasses > before.fault_bypasses,
+            "fault run must count as a bypass: {before:?} -> {mid:?}"
+        );
+        // The faulted result must not be visible to clean lookups: the same
+        // key simulates fresh and completes unfaulted.
+        let clean = run_cached(b, &cfg, false).expect("runs");
+        assert!(clean.report.fault.is_none(), "clean run must carry no fault section");
+        assert!(clean.verified.is_ok(), "cache must serve an unpoisoned result");
+        assert_ne!(clean.cycles, 0);
+    }
+
+    #[test]
+    fn degraded_runs_bypass_the_cache() {
+        use revel_fabric::FabricMask;
+        let b = Bench::Fft { n: 64 };
+        let cfg = BuildCfg::revel(1);
+        let before = stats();
+        // Mask one systolic tile: the scheduler repairs around it and the
+        // run still verifies (degraded, not broken).
+        let mask = FabricMask { dead_pes: 1, dead_links: 0 };
+        let run = run_degraded(b, &cfg, mask).expect("schedulable around one dead PE");
+        assert!(run.verified.is_ok(), "degraded run must still verify: {:?}", run.verified);
+        let after = stats();
+        assert!(
+            after.fault_bypasses > before.fault_bypasses,
+            "degraded run must count as a bypass: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
     fn hit_rate_is_well_defined() {
         let zero = CacheStats {
             hits: 0,
@@ -724,6 +837,7 @@ mod tests {
             lint_entries: 0,
             sim_cycles: 0,
             skipped_cycles: 0,
+            fault_bypasses: 0,
         };
         assert_eq!(zero.hit_rate(), 0.0);
         let mixed = CacheStats { hits: 3, misses: 1, ..zero };

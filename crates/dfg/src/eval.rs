@@ -82,6 +82,16 @@ impl VecVal {
         self.vals[k]
     }
 
+    /// Overwrites lane `k`'s value, leaving the predicate unchanged (used
+    /// by the simulator's bit-flip fault injection).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn set_raw(&mut self, k: usize, v: f64) {
+        assert!(k < self.width(), "lane {k} out of range");
+        self.vals[k] = v;
+    }
+
     /// True if any lane is valid.
     pub fn any_valid(&self) -> bool {
         self.pred != 0

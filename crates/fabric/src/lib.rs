@@ -31,4 +31,4 @@ pub use config::{FuMix, LaneConfig, RevelConfig};
 pub use cost::{
     AreaBreakdown, CostModel, EnergyModel, EventCounts, RelativePeArea, DPE_AREA_UM2, SPE_AREA_UM2,
 };
-pub use mesh::{Mesh, MeshCoord, MeshLink, PeKind, PeSlot};
+pub use mesh::{FabricMask, Mesh, MeshCoord, MeshLink, PeKind, PeSlot};

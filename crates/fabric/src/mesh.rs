@@ -181,6 +181,116 @@ impl Mesh {
     pub fn manhattan(&self, a: MeshCoord, b: MeshCoord) -> u32 {
         (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)) as u32
     }
+
+    /// Row-major index of a tile (the bit position used by
+    /// [`FabricMask::dead_pes`]).
+    pub fn tile_index(&self, c: MeshCoord) -> usize {
+        c.y as usize * self.width + c.x as usize
+    }
+
+    /// The tile at a row-major index (inverse of [`Mesh::tile_index`]).
+    ///
+    /// # Panics
+    /// Panics if `idx` is outside the grid.
+    pub fn tile_at(&self, idx: usize) -> MeshCoord {
+        assert!(idx < self.width * self.height, "tile index {idx} outside the grid");
+        MeshCoord { x: (idx % self.width) as u8, y: (idx / self.width) as u8 }
+    }
+
+    /// Bit position of the undirected link between two 4-neighbour tiles
+    /// (the indexing used by [`FabricMask::dead_links`]): each tile owns
+    /// bit `2·tile_index` for its rightward link and `2·tile_index + 1`
+    /// for its downward link. `None` when the tiles are not 4-neighbours.
+    pub fn link_bit(&self, a: MeshCoord, b: MeshCoord) -> Option<u32> {
+        let (lo, hi) = if (a.y, a.x) <= (b.y, b.x) { (a, b) } else { (b, a) };
+        if lo.y == hi.y && lo.x + 1 == hi.x {
+            Some(2 * self.tile_index(lo) as u32)
+        } else if lo.x == hi.x && lo.y + 1 == hi.y {
+            Some(2 * self.tile_index(lo) as u32 + 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// A mask of permanently-failed fabric resources, used by the degraded
+/// scheduler to re-place and re-route a program around broken hardware.
+///
+/// Bit `i` of `dead_pes` marks the tile at row-major index `i`
+/// ([`Mesh::tile_index`]) as dead: no instruction may be placed there. A
+/// dead PE keeps a live mesh switch — routes may still pass *through* its
+/// tile — because in the REVEL design the circuit-switched network is a
+/// separate structure from the FU datapath, and a stuck FU does not sever
+/// the crossbar around it.
+///
+/// Bit `b` of `dead_links` marks the *undirected* mesh link at bit
+/// position `b` ([`Mesh::link_bit`]) as dead in both directions: no route
+/// may traverse it.
+///
+/// The 64-bit fields cover meshes up to 64 tiles / 32 tiles-worth of link
+/// bits, comfortably beyond the paper's 5×5 lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FabricMask {
+    /// Bit `i` set ⇒ the tile at row-major index `i` is dead.
+    pub dead_pes: u64,
+    /// Bit `b` set ⇒ the undirected link at bit position `b` is dead.
+    pub dead_links: u64,
+}
+
+impl FabricMask {
+    /// The fully-healthy fabric (no dead resources).
+    pub const HEALTHY: FabricMask = FabricMask { dead_pes: 0, dead_links: 0 };
+
+    /// True when nothing is masked out (scheduling is unchanged).
+    pub fn is_empty(&self) -> bool {
+        self.dead_pes == 0 && self.dead_links == 0
+    }
+
+    /// True when the tile at row-major index `idx` is dead.
+    pub fn pe_dead(&self, idx: usize) -> bool {
+        idx < 64 && self.dead_pes & (1u64 << idx) != 0
+    }
+
+    /// True when the undirected link at bit position `bit` is dead.
+    pub fn link_dead(&self, bit: u32) -> bool {
+        bit < 64 && self.dead_links & (1u64 << bit) != 0
+    }
+
+    /// Marks the tile at row-major index `idx` dead.
+    ///
+    /// # Panics
+    /// Panics if `idx` is 64 or more (outside the mask's coverage).
+    pub fn with_dead_pe(mut self, idx: usize) -> Self {
+        assert!(idx < 64, "tile index {idx} outside the 64-bit mask");
+        self.dead_pes |= 1u64 << idx;
+        self
+    }
+
+    /// Marks the undirected link at bit position `bit` dead.
+    ///
+    /// # Panics
+    /// Panics if `bit` is 64 or more (outside the mask's coverage).
+    pub fn with_dead_link(mut self, bit: u32) -> Self {
+        assert!(bit < 64, "link bit {bit} outside the 64-bit mask");
+        self.dead_links |= 1u64 << bit;
+        self
+    }
+
+    /// Number of dead tiles.
+    pub fn dead_pe_count(&self) -> u32 {
+        self.dead_pes.count_ones()
+    }
+
+    /// Row-major indices of dead tiles, ascending.
+    pub fn dead_pe_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(|i| self.pe_dead(*i))
+    }
+}
+
+impl core::fmt::Display for FabricMask {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pes={:#x} links={:#x}", self.dead_pes, self.dead_links)
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +352,44 @@ mod tests {
         for s in m.slots() {
             assert_eq!(m.slot(s.coord), s);
         }
+    }
+
+    #[test]
+    fn tile_index_roundtrip() {
+        let m = paper_mesh();
+        for (i, s) in m.slots().iter().enumerate() {
+            assert_eq!(m.tile_index(s.coord), i);
+            assert_eq!(m.tile_at(i), s.coord);
+        }
+    }
+
+    #[test]
+    fn link_bits_are_unique_and_undirected() {
+        let m = paper_mesh();
+        let mut seen = std::collections::HashSet::new();
+        for l in m.links() {
+            let bit = m.link_bit(l.from, l.to).expect("4-neighbour link");
+            assert_eq!(m.link_bit(l.to, l.from), Some(bit), "undirected indexing");
+            assert!(bit < 64, "bit {bit} fits the mask");
+            seen.insert(bit);
+        }
+        // 40 undirected links in a 5×5 mesh (each counted once).
+        assert_eq!(seen.len(), 40);
+        // Non-adjacent tiles have no link bit.
+        assert_eq!(m.link_bit(MeshCoord { x: 0, y: 0 }, MeshCoord { x: 2, y: 0 }), None);
+        assert_eq!(m.link_bit(MeshCoord { x: 0, y: 0 }, MeshCoord { x: 1, y: 1 }), None);
+    }
+
+    #[test]
+    fn fabric_mask_basics() {
+        let mask = FabricMask::HEALTHY;
+        assert!(mask.is_empty());
+        let mask = mask.with_dead_pe(3).with_dead_pe(17).with_dead_link(5);
+        assert!(!mask.is_empty());
+        assert!(mask.pe_dead(3) && mask.pe_dead(17) && !mask.pe_dead(4));
+        assert!(mask.link_dead(5) && !mask.link_dead(6));
+        assert_eq!(mask.dead_pe_count(), 2);
+        assert_eq!(mask.dead_pe_indices().collect::<Vec<_>>(), vec![3, 17]);
+        assert_eq!(mask.to_string(), "pes=0x20008 links=0x20");
     }
 }

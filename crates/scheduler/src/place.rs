@@ -2,7 +2,7 @@
 
 use crate::instr::{Endpoint, Expansion, InstrKey};
 use crate::schedule::ScheduleError;
-use revel_fabric::{Mesh, MeshCoord, PeKind};
+use revel_fabric::{FabricMask, Mesh, MeshCoord, PeKind};
 use revel_isa::Rng;
 use std::collections::HashMap;
 
@@ -191,6 +191,107 @@ pub fn place(
         }
     }
     placement.instr_pos = best_pos;
+    Ok(placement)
+}
+
+/// Repairs a healthy placement around a fabric mask's dead tiles.
+///
+/// The repair is a deterministic greedy pass (no annealing, no RNG), so
+/// nested masks produce nested repairs: dead tiles are visited in
+/// ascending row-major order; a displaced systolic instruction moves to
+/// the nearest free live tile of its class (manhattan distance from the
+/// dead tile, ties broken by row-major index); displaced temporal
+/// instructions move, in `InstrKey` order, to the least-loaded live
+/// dataflow tile. An empty mask returns the placement untouched.
+///
+/// # Errors
+/// The same capacity errors as initial placement, computed against the
+/// *live* tile counts.
+pub fn repair_placement(
+    mesh: &Mesh,
+    exp: &Expansion,
+    mut placement: Placement,
+    dpe_slots: usize,
+    mask: FabricMask,
+) -> Result<Placement, ScheduleError> {
+    if mask.is_empty() {
+        return Ok(placement);
+    }
+    let dead = |c: MeshCoord| mask.pe_dead(mesh.tile_index(c));
+
+    // Live-capacity checks before touching anything.
+    let systolic: Vec<&crate::instr::MappedInstr> = exp.systolic_instrs().collect();
+    for class in revel_dfg::FuClass::ALL {
+        let needed = systolic.iter().filter(|i| i.class == class).count();
+        let live = mesh
+            .slots()
+            .iter()
+            .filter(|s| s.kind == PeKind::Systolic(class) && !dead(s.coord))
+            .count();
+        if needed > live {
+            return Err(ScheduleError::NotEnoughPes { class, needed, available: live });
+        }
+    }
+    let temporal: Vec<&crate::instr::MappedInstr> = exp.temporal_instrs().collect();
+    let live_dpes: Vec<MeshCoord> =
+        mesh.dataflow_slots().map(|s| s.coord).filter(|c| !dead(*c)).collect();
+    if !temporal.is_empty() {
+        if live_dpes.is_empty() {
+            return Err(ScheduleError::NoDataflowPes { needed: temporal.len() });
+        }
+        let capacity = live_dpes.len() * dpe_slots;
+        if temporal.len() > capacity {
+            return Err(ScheduleError::TemporalOverflow { needed: temporal.len(), capacity });
+        }
+    }
+
+    let mut occupant: HashMap<MeshCoord, InstrKey> = HashMap::new();
+    for instr in &systolic {
+        occupant.insert(placement.instr_pos[&instr.key], instr.key);
+    }
+    for idx in mask.dead_pe_indices() {
+        if idx >= mesh.width() * mesh.height() {
+            break;
+        }
+        let coord = mesh.tile_at(idx);
+        match mesh.slot(coord).kind {
+            PeKind::Systolic(class) => {
+                let Some(k) = occupant.get(&coord).copied() else { continue };
+                let target = mesh
+                    .slots()
+                    .iter()
+                    .filter(|s| s.kind == PeKind::Systolic(class))
+                    .filter(|s| !dead(s.coord) && !occupant.contains_key(&s.coord))
+                    .min_by_key(|s| (mesh.manhattan(coord, s.coord), mesh.tile_index(s.coord)))
+                    .map(|s| s.coord)
+                    .expect("live capacity checked above");
+                occupant.remove(&coord);
+                occupant.insert(target, k);
+                placement.instr_pos.insert(k, target);
+            }
+            PeKind::Dataflow => {
+                placement.dpe_load.remove(&coord);
+                let mut displaced: Vec<InstrKey> = temporal
+                    .iter()
+                    .filter(|i| placement.instr_pos[&i.key] == coord)
+                    .map(|i| i.key)
+                    .collect();
+                displaced.sort();
+                for k in displaced {
+                    let target = live_dpes
+                        .iter()
+                        .filter(|t| placement.dpe_load.get(t).copied().unwrap_or(0) < dpe_slots)
+                        .min_by_key(|t| {
+                            (placement.dpe_load.get(t).copied().unwrap_or(0), mesh.tile_index(**t))
+                        })
+                        .copied()
+                        .expect("live temporal capacity checked above");
+                    placement.instr_pos.insert(k, target);
+                    *placement.dpe_load.entry(target).or_insert(0) += 1;
+                }
+            }
+        }
+    }
     Ok(placement)
 }
 

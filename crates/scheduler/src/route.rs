@@ -10,7 +10,8 @@
 
 use crate::instr::Expansion;
 use crate::place::{edge_coords, Placement};
-use revel_fabric::{Mesh, MeshCoord, MeshLink};
+use crate::schedule::ScheduleError;
+use revel_fabric::{FabricMask, Mesh, MeshCoord, MeshLink};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Summary statistics of a routed configuration.
@@ -61,9 +62,10 @@ fn shortest_path(
     from: MeshCoord,
     to: MeshCoord,
     link_cost: &HashMap<MeshLink, f64>,
-) -> Vec<MeshLink> {
+    mask: FabricMask,
+) -> Option<Vec<MeshLink>> {
     if from == to {
-        return Vec::new();
+        return Some(Vec::new());
     }
     let mut dist: HashMap<MeshCoord, f64> = HashMap::new();
     let mut prev: HashMap<MeshCoord, MeshCoord> = HashMap::new();
@@ -78,6 +80,13 @@ fn shortest_path(
             continue;
         }
         for n in mesh.neighbors(coord) {
+            // Dead links are severed in both directions. Dead *PEs* keep
+            // their mesh switch (routing through a dead tile is allowed):
+            // the circuit-switched network is a separate structure from
+            // the FU datapath, so a stuck FU does not cut the crossbar.
+            if mesh.link_bit(coord, n).is_some_and(|b| mask.link_dead(b)) {
+                continue;
+            }
             let link = MeshLink { from: coord, to: n };
             let lc = 1.0 + link_cost.get(&link).copied().unwrap_or(0.0);
             let nd = cost + lc;
@@ -88,26 +97,38 @@ fn shortest_path(
             }
         }
     }
-    // Reconstruct. The mesh grid is connected, so Dijkstra always
-    // reaches `to` and every step back to `from` has a `prev` entry;
-    // a missing key would mean a malformed mesh, which `Mesh::new`
-    // makes unconstructible.
+    // Reconstruct. On a healthy mesh the grid is connected, so Dijkstra
+    // always reaches `to`; dead links can disconnect it, which surfaces
+    // as `None` (the caller reports `ScheduleError::Unroutable`).
     let mut path = Vec::new();
     let mut cur = to;
     while cur != from {
-        let p = prev[&cur];
+        let p = *prev.get(&cur)?;
         path.push(MeshLink { from: p, to: cur });
         cur = p;
     }
     path.reverse();
-    path
+    Some(path)
 }
 
-/// Routes every edge of the expansion over the mesh.
+/// Routes every edge of the expansion with a fabric mask's dead links
+/// excluded. `max_iterations` bounds the negotiation rounds; residual link
+/// sharing is reported in [`RouteStats::max_link_sharing`]. The healthy
+/// schedule passes [`FabricMask::HEALTHY`] — an empty mask and a degraded
+/// one share this single code path, so an empty mask is byte-identical to
+/// the healthy routing by construction.
 ///
-/// `max_iterations` bounds the negotiation rounds; residual link sharing is
-/// reported in [`RouteStats::max_link_sharing`].
-pub fn route(mesh: &Mesh, exp: &Expansion, placement: &Placement, max_iterations: u32) -> Routing {
+/// # Errors
+/// [`ScheduleError::Unroutable`] when dead links disconnect a producer
+/// tile from its consumer (impossible for an empty mask: the grid is
+/// connected).
+pub fn route_degraded(
+    mesh: &Mesh,
+    exp: &Expansion,
+    placement: &Placement,
+    max_iterations: u32,
+    mask: FabricMask,
+) -> Result<Routing, ScheduleError> {
     let mut history: HashMap<MeshLink, f64> = HashMap::new();
     let mut paths: Vec<Vec<MeshLink>> = vec![Vec::new(); exp.edges.len()];
     let mut stats = RouteStats::default();
@@ -123,7 +144,8 @@ pub fn route(mesh: &Mesh, exp: &Expansion, placement: &Placement, max_iterations
             for (l, u) in &usage {
                 *cost.entry(*l).or_insert(0.0) += *u as f64 * 0.5;
             }
-            let path = shortest_path(mesh, from, to, &cost);
+            let path = shortest_path(mesh, from, to, &cost, mask)
+                .ok_or(ScheduleError::Unroutable { from, to })?;
             for l in &path {
                 if edge.needs_dedicated_links() {
                     *usage.entry(*l).or_insert(0) += 1;
@@ -144,7 +166,7 @@ pub fn route(mesh: &Mesh, exp: &Expansion, placement: &Placement, max_iterations
         }
     }
     stats.total_hops = paths.iter().map(|p| p.len() as u32).sum();
-    Routing { edge_paths: paths, stats }
+    Ok(Routing { edge_paths: paths, stats })
 }
 
 /// Total hops per firing of a particular region.
@@ -182,7 +204,7 @@ mod tests {
     #[test]
     fn paths_connect_endpoints() {
         let (mesh, exp, p) = setup(2);
-        let r = route(&mesh, &exp, &p, 8);
+        let r = route_degraded(&mesh, &exp, &p, 8, FabricMask::HEALTHY).unwrap();
         for (edge, path) in exp.edges.iter().zip(&r.edge_paths) {
             let (from, to) = edge_coords(&mesh, &p, edge);
             if from == to {
@@ -200,14 +222,14 @@ mod tests {
     #[test]
     fn small_graph_routes_conflict_free() {
         let (mesh, exp, p) = setup(1);
-        let r = route(&mesh, &exp, &p, 8);
+        let r = route_degraded(&mesh, &exp, &p, 8, FabricMask::HEALTHY).unwrap();
         assert_eq!(r.stats.max_link_sharing, 1, "dedicated links must not be shared");
     }
 
     #[test]
     fn hops_at_least_manhattan() {
         let (mesh, exp, p) = setup(2);
-        let r = route(&mesh, &exp, &p, 8);
+        let r = route_degraded(&mesh, &exp, &p, 8, FabricMask::HEALTHY).unwrap();
         for (edge, path) in exp.edges.iter().zip(&r.edge_paths) {
             let (from, to) = edge_coords(&mesh, &p, edge);
             assert!(path.len() as u32 >= mesh.manhattan(from, to));
@@ -217,7 +239,7 @@ mod tests {
     #[test]
     fn region_hop_totals() {
         let (mesh, exp, p) = setup(1);
-        let r = route(&mesh, &exp, &p, 8);
+        let r = route_degraded(&mesh, &exp, &p, 8, FabricMask::HEALTHY).unwrap();
         assert_eq!(region_hops(&exp, &r, 0), r.stats.total_hops);
     }
 }

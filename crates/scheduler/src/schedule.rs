@@ -1,8 +1,8 @@
 use crate::instr::{expand, Endpoint, Expansion, InstrKey};
-use crate::place::place;
-use crate::route::{region_hops, route, RouteStats, Routing};
+use crate::place::{place, repair_placement};
+use crate::route::{region_hops, route_degraded, RouteStats, Routing};
 use revel_dfg::{FuClass, Region, RegionKind};
-use revel_fabric::{Mesh, MeshCoord, MeshLink};
+use revel_fabric::{FabricMask, Mesh, MeshCoord, MeshLink};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -31,6 +31,14 @@ pub enum ScheduleError {
         /// Instructions that had nowhere to go.
         needed: usize,
     },
+    /// A fabric mask's dead links disconnected two tiles an edge must
+    /// connect: the degraded fabric cannot route this program.
+    Unroutable {
+        /// Producer tile.
+        from: MeshCoord,
+        /// Consumer tile.
+        to: MeshCoord,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -44,6 +52,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::NoDataflowPes { needed } => {
                 write!(f, "{needed} temporal instructions but fabric has no dataflow PEs")
+            }
+            ScheduleError::Unroutable { from, to } => {
+                write!(f, "dead links disconnect {from} from {to}: degraded fabric unroutable")
             }
         }
     }
@@ -135,9 +146,33 @@ impl SpatialScheduler {
     /// # Errors
     /// Returns [`ScheduleError`] if the configuration does not fit.
     pub fn schedule(&self, regions: &[Region]) -> Result<FabricSchedule, ScheduleError> {
+        self.reschedule_degraded(regions, FabricMask::HEALTHY)
+    }
+
+    /// Maps all regions onto the fabric with some PEs/links masked out
+    /// (permanent faults): the healthy placement is computed first (same
+    /// seed and annealing effort as [`SpatialScheduler::schedule`], so an
+    /// empty mask is byte-identical to the healthy schedule), then a
+    /// deterministic greedy repair walks dead tiles in ascending row-major
+    /// order — each displaced systolic instruction moves to the nearest
+    /// free live tile of its FU class, displaced temporal instructions
+    /// redistribute to the least-loaded live dataflow PEs — and routing
+    /// re-runs with dead links excluded. Degradation is therefore graceful:
+    /// throughput decays with lost tiles instead of the run wedging.
+    ///
+    /// # Errors
+    /// [`ScheduleError::NotEnoughPes`] / [`ScheduleError::TemporalOverflow`]
+    /// / [`ScheduleError::NoDataflowPes`] when the surviving fabric is too
+    /// small, [`ScheduleError::Unroutable`] when dead links disconnect it.
+    pub fn reschedule_degraded(
+        &self,
+        regions: &[Region],
+        mask: FabricMask,
+    ) -> Result<FabricSchedule, ScheduleError> {
         let exp = expand(regions);
-        let placement = place(&self.mesh, &exp, self.dpe_slots, self.seed, self.sa_iterations)?;
-        let routing = route(&self.mesh, &exp, &placement, self.route_iterations);
+        let healthy = place(&self.mesh, &exp, self.dpe_slots, self.seed, self.sa_iterations)?;
+        let placement = repair_placement(&self.mesh, &exp, healthy, self.dpe_slots, mask)?;
+        let routing = route_degraded(&self.mesh, &exp, &placement, self.route_iterations, mask)?;
         let link_sharing = dedicated_link_usage(&exp, &routing);
 
         let mut region_schedules = Vec::with_capacity(regions.len());
@@ -377,5 +412,112 @@ mod tests {
         let a = scheduler().schedule(&[solver_inner(4), solver_outer()]).unwrap();
         let b = scheduler().schedule(&[solver_inner(4), solver_outer()]).unwrap();
         assert_eq!(a.regions, b.regions);
+    }
+
+    #[test]
+    fn empty_mask_is_byte_identical_to_healthy_schedule() {
+        let s = scheduler();
+        let regions = [solver_inner(4), solver_outer()];
+        let healthy = s.schedule(&regions).unwrap();
+        let degraded = s.reschedule_degraded(&regions, FabricMask::HEALTHY).unwrap();
+        assert_eq!(healthy.regions, degraded.regions);
+        assert_eq!(healthy.placement, degraded.placement);
+        assert_eq!(healthy.route_stats, degraded.route_stats);
+    }
+
+    #[test]
+    fn masking_unused_tiles_leaves_the_schedule_unchanged() {
+        let s = scheduler();
+        let regions = [solver_inner(1)];
+        let healthy = s.schedule(&regions).unwrap();
+        // Find a systolic tile no instruction occupies and kill it.
+        let occupied: std::collections::HashSet<MeshCoord> =
+            healthy.placement.values().copied().collect();
+        let idle = s
+            .mesh()
+            .slots()
+            .iter()
+            .find(|t| {
+                matches!(t.kind, revel_fabric::PeKind::Systolic(_)) && !occupied.contains(&t.coord)
+            })
+            .expect("a 3-instruction region leaves tiles idle");
+        let mask = FabricMask::HEALTHY.with_dead_pe(s.mesh().tile_index(idle.coord));
+        let degraded = s.reschedule_degraded(&regions, mask).unwrap();
+        assert_eq!(healthy.regions, degraded.regions, "an idle dead tile must change nothing");
+        assert_eq!(healthy.placement, degraded.placement);
+    }
+
+    #[test]
+    fn repair_moves_off_dead_tiles_and_still_schedules() {
+        let s = scheduler();
+        let regions = [solver_inner(4), solver_outer()];
+        let healthy = s.schedule(&regions).unwrap();
+        // Kill every occupied systolic tile's first victim: the lowest-index
+        // occupied tile.
+        let mesh = s.mesh();
+        let victim = healthy
+            .placement
+            .values()
+            .filter(|c| matches!(mesh.slot(**c).kind, revel_fabric::PeKind::Systolic(_)))
+            .min_by_key(|c| mesh.tile_index(**c))
+            .copied()
+            .expect("systolic placements exist");
+        let mask = FabricMask::HEALTHY.with_dead_pe(mesh.tile_index(victim));
+        let degraded = s.reschedule_degraded(&regions, mask).unwrap();
+        for (key, coord) in &degraded.placement {
+            assert!(!mask.pe_dead(mesh.tile_index(*coord)), "{key:?} placed on dead tile {coord}");
+        }
+        assert_eq!(degraded.regions.len(), 2);
+        assert!(degraded.regions[0].ii >= healthy.regions[0].ii);
+    }
+
+    #[test]
+    fn dead_links_can_make_the_fabric_unroutable() {
+        let s = scheduler();
+        let mesh = s.mesh();
+        // Sever both links of corner (0,0): input port 0 injects there, so
+        // any region reading port 0 becomes unroutable.
+        let c00 = MeshCoord { x: 0, y: 0 };
+        let right = mesh.link_bit(c00, MeshCoord { x: 1, y: 0 }).unwrap();
+        let down = mesh.link_bit(c00, MeshCoord { x: 0, y: 1 }).unwrap();
+        let mask = FabricMask::HEALTHY.with_dead_link(right).with_dead_link(down);
+        let err = s.reschedule_degraded(&[solver_inner(1)], mask).unwrap_err();
+        assert!(matches!(err, ScheduleError::Unroutable { .. }), "{err}");
+    }
+
+    #[test]
+    fn dead_dataflow_pe_without_spare_is_rejected() {
+        let s = scheduler();
+        let mesh = s.mesh();
+        let dpe = mesh.dataflow_slots().next().unwrap().coord;
+        let mask = FabricMask::HEALTHY.with_dead_pe(mesh.tile_index(dpe));
+        // The paper mesh has exactly one dataflow PE; killing it strands
+        // every temporal instruction.
+        let err = s.reschedule_degraded(&[solver_outer()], mask).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoDataflowPes { needed: 1 }), "{err}");
+    }
+
+    #[test]
+    fn degraded_capacity_errors_report_live_counts() {
+        let s = scheduler();
+        let mesh = s.mesh();
+        // Kill 8 of the 9 multiplier tiles: a 2-multiply region still fits
+        // nothing (2 > 1 live).
+        let muls: Vec<usize> =
+            mesh.systolic_slots(FuClass::Multiplier).map(|t| mesh.tile_index(t.coord)).collect();
+        let mut mask = FabricMask::HEALTHY;
+        for idx in muls.iter().take(8) {
+            mask = mask.with_dead_pe(*idx);
+        }
+        let mut g = Dfg::new("mm");
+        let a = g.input(InPortId(0));
+        let m1 = g.op(OpCode::Mul, &[a, a]);
+        let m2 = g.op(OpCode::Mul, &[m1, a]);
+        g.output(m2, OutPortId(0));
+        let err = s.reschedule_degraded(&[Region::systolic("mm", g, 1)], mask).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::NotEnoughPes { class: FuClass::Multiplier, needed: 2, available: 1 }
+        );
     }
 }

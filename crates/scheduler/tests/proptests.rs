@@ -56,6 +56,9 @@ fn schedule_total_and_sound() {
                 | ScheduleError::TemporalOverflow { .. }
                 | ScheduleError::NoDataflowPes { .. },
             ) => {}
+            Err(e @ ScheduleError::Unroutable { .. }) => {
+                panic!("healthy mesh can never be unroutable: {e}")
+            }
         }
     }
 }

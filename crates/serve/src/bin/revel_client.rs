@@ -13,12 +13,19 @@
 //!
 //! Prints a p50/p90/p99 latency histogram plus the server-reported engine
 //! cache hit rate over the measurement window (from `stats` deltas).
-//! `--assert-p99-ms` / `--assert-hit-rate` turn the report into a gate:
-//! exit 1 when the floor is missed.
+//! `--assert-p99-ms` / `--assert-hit-rate` / `--assert-success-rate` turn
+//! the report into a gate: exit 1 when the floor is missed.
+//!
+//! Against a `--chaos` server, run with `--retries N`: each connection
+//! drives a self-healing `RetryClient` (capped exponential backoff with
+//! deterministic jitter, consecutive-failure circuit breaker) so injected
+//! faults surface as retries, not failed requests.
 
 use revel_bench::grid;
-use revel_serve::client::{fmt_ms, percentile, Client};
-use revel_serve::protocol::{read_all_frames, EngineStatsWire, Request, Response};
+use revel_serve::client::{
+    fmt_ms, percentile, CircuitBreaker, Client, ClientError, RetryClient, RetryPolicy,
+};
+use revel_serve::protocol::{decode_request, read_all_frames, EngineStatsWire, Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -31,8 +38,15 @@ struct Args {
     replay: Option<String>,
     passes: usize,
     deadline_ms: Option<u64>,
+    retries: u32,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
+    retry_seed: u64,
+    breaker_threshold: u32,
+    breaker_cooldown_ms: u64,
     assert_p99_ms: Option<f64>,
     assert_hit_rate: Option<f64>,
+    assert_success_rate: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -44,8 +58,15 @@ fn parse_args() -> Args {
         replay: None,
         passes: 1,
         deadline_ms: None,
+        retries: 1,
+        backoff_base_ms: 5,
+        backoff_cap_ms: 500,
+        retry_seed: 0,
+        breaker_threshold: 5,
+        breaker_cooldown_ms: 200,
         assert_p99_ms: None,
         assert_hit_rate: None,
+        assert_success_rate: None,
     };
     let mut host = "127.0.0.1".to_string();
     let mut port = 7411u16;
@@ -62,11 +83,30 @@ fn parse_args() -> Args {
             "--replay" => a.replay = Some(val("--replay")),
             "--passes" => a.passes = parse(&val("--passes"), "--passes"),
             "--deadline-ms" => a.deadline_ms = Some(parse(&val("--deadline-ms"), "--deadline-ms")),
+            "--retries" => a.retries = parse(&val("--retries"), "--retries"),
+            "--backoff-base-ms" => {
+                a.backoff_base_ms = parse(&val("--backoff-base-ms"), "--backoff-base-ms");
+            }
+            "--backoff-cap-ms" => {
+                a.backoff_cap_ms = parse(&val("--backoff-cap-ms"), "--backoff-cap-ms");
+            }
+            "--retry-seed" => a.retry_seed = parse(&val("--retry-seed"), "--retry-seed"),
+            "--breaker-threshold" => {
+                a.breaker_threshold = parse(&val("--breaker-threshold"), "--breaker-threshold");
+            }
+            "--breaker-cooldown-ms" => {
+                a.breaker_cooldown_ms =
+                    parse(&val("--breaker-cooldown-ms"), "--breaker-cooldown-ms");
+            }
             "--assert-p99-ms" => {
                 a.assert_p99_ms = Some(parse(&val("--assert-p99-ms"), "--assert-p99-ms"));
             }
             "--assert-hit-rate" => {
                 a.assert_hit_rate = Some(parse(&val("--assert-hit-rate"), "--assert-hit-rate"));
+            }
+            "--assert-success-rate" => {
+                a.assert_success_rate =
+                    Some(parse(&val("--assert-success-rate"), "--assert-success-rate"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -84,6 +124,8 @@ struct Tally {
     timed_out: AtomicU64,
     overloaded: AtomicU64,
     errors: AtomicU64,
+    retries: AtomicU64,
+    breaker_opens: AtomicU64,
 }
 
 impl Tally {
@@ -95,6 +137,13 @@ impl Tally {
             Response::Error { .. } => self.errors.fetch_add(1, Ordering::Relaxed),
             _ => self.ok.fetch_add(1, Ordering::Relaxed),
         };
+    }
+
+    fn total(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+            + self.timed_out.load(Ordering::Relaxed)
+            + self.overloaded.load(Ordering::Relaxed)
+            + self.errors.load(Ordering::Relaxed)
     }
 }
 
@@ -121,7 +170,7 @@ fn main() {
 
     let lat = tally.latencies.lock().expect("latency lock").clone();
     let (p50, p90, p99) = (percentile(&lat, 50.0), percentile(&lat, 90.0), percentile(&lat, 99.0));
-    let total = lat.len() as u64;
+    let total = tally.total();
     println!(
         "revel-client: {} request(s) in {:.2}s over {} connection(s)",
         total,
@@ -134,6 +183,13 @@ fn main() {
         tally.timed_out.load(Ordering::Relaxed),
         tally.overloaded.load(Ordering::Relaxed),
         tally.errors.load(Ordering::Relaxed),
+    );
+    let success_rate =
+        if total == 0 { 0.0 } else { tally.ok.load(Ordering::Relaxed) as f64 / total as f64 };
+    println!(
+        "  self-healing: {} retry(ies), {} breaker open(s), success rate {success_rate:.3}",
+        tally.retries.load(Ordering::Relaxed),
+        tally.breaker_opens.load(Ordering::Relaxed),
     );
     println!("  latency: p50 {}  p90 {}  p99 {}", fmt_ms(p50), fmt_ms(p90), fmt_ms(p99));
 
@@ -158,7 +214,14 @@ fn main() {
             gate_failures.push(format!("p99 {p99_ms:.3}ms above ceiling {ceil_ms:.3}ms"));
         }
     }
-    if tally.errors.load(Ordering::Relaxed) > 0 {
+    if let Some(floor) = args.assert_success_rate {
+        if success_rate < floor {
+            gate_failures.push(format!("success rate {success_rate:.3} below floor {floor:.3}"));
+        }
+    } else if tally.errors.load(Ordering::Relaxed) > 0 {
+        // Without an explicit success-rate floor, any error is fatal.
+        // Under chaos + retries, the floor replaces this blanket gate (a
+        // request can legitimately exhaust its retries).
         gate_failures.push(format!(
             "{} request(s) answered with errors",
             tally.errors.load(Ordering::Relaxed)
@@ -181,7 +244,10 @@ fn fetch_engine_stats(c: &mut Client) -> EngineStatsWire {
 }
 
 /// Closed-loop (or rate-paced) load over the evaluation grid, round-robin
-/// across cells, fanned over `connections` client threads.
+/// across cells, fanned over `connections` self-healing client threads.
+/// Transport failures reconnect, retryable responses back off and retry
+/// (per `--retries`), and a connection never aborts the run: errors are
+/// tallied and the loop keeps offering load.
 fn grid_load(args: &Args, tally: &Tally) {
     let cells = grid::evaluation_grid();
     let reqs: Vec<Request> = cells
@@ -193,6 +259,9 @@ fn grid_load(args: &Args, tally: &Tally) {
             deadline_ms: args.deadline_ms,
             max_cycles: None,
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         })
         .collect();
     let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
@@ -206,24 +275,36 @@ fn grid_load(args: &Args, tally: &Tally) {
         for conn in 0..args.connections {
             let reqs = &reqs;
             s.spawn(move || {
-                let mut client = match Client::connect(&args.addr) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("revel-client: connection {conn}: {e}");
-                        tally.errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
+                // Per-connection jitter stream: deterministic for a fixed
+                // --retry-seed, decorrelated across connections.
+                let policy = RetryPolicy {
+                    max_attempts: args.retries.max(1),
+                    base_ms: args.backoff_base_ms,
+                    cap_ms: args.backoff_cap_ms,
+                    seed: args.retry_seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 };
+                let breaker = CircuitBreaker::new(
+                    args.breaker_threshold,
+                    Duration::from_millis(args.breaker_cooldown_ms),
+                );
+                let mut client = RetryClient::new(&args.addr, policy, breaker);
                 // Stagger starting cells so connections don't convoy.
                 let mut i = conn;
                 while Instant::now() < deadline {
                     let t0 = Instant::now();
                     match client.request(&reqs[i % reqs.len()]) {
                         Ok(resp) => tally.record(t0, &resp),
+                        Err(ClientError::CircuitOpen) => {
+                            // Fail-fast rejection: count it, let the
+                            // cooldown elapse instead of spinning.
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(
+                                args.breaker_cooldown_ms.max(1),
+                            ));
+                        }
                         Err(e) => {
                             eprintln!("revel-client: connection {conn}: {e}");
                             tally.errors.fetch_add(1, Ordering::Relaxed);
-                            return;
                         }
                     }
                     i += args.connections;
@@ -235,6 +316,8 @@ fn grid_load(args: &Args, tally: &Tally) {
                         }
                     }
                 }
+                tally.retries.fetch_add(client.retries(), Ordering::Relaxed);
+                tally.breaker_opens.fetch_add(client.breaker().opened_total(), Ordering::Relaxed);
             });
         }
     });
@@ -250,36 +333,101 @@ fn replay(args: &Args, path: &str, tally: &Tally) {
     if frames.is_empty() {
         fatal(&format!("replay file {path} holds no frames"));
     }
+    // With --retries > 1 the replay self-heals like the grid load does:
+    // frames are decoded up front (a replay file is trusted input — a
+    // frame that doesn't parse is a fatal config error, not load) and
+    // driven through a RetryClient per connection.
+    let decoded: Option<Vec<Request>> = if args.retries > 1 {
+        Some(
+            frames
+                .iter()
+                .map(|f| {
+                    decode_request(f)
+                        .unwrap_or_else(|e| fatal(&format!("replay frame does not parse: {e}")))
+                        .1
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
     for _pass in 0..args.passes.max(1) {
         std::thread::scope(|s| {
             for conn in 0..args.connections {
-                let frames = &frames;
-                s.spawn(move || {
-                    let mut client = match Client::connect(&args.addr) {
-                        Ok(c) => c,
-                        Err(e) => {
-                            eprintln!("revel-client: connection {conn}: {e}");
-                            tally.errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    };
-                    let mut i = conn;
-                    while i < frames.len() {
-                        let t0 = Instant::now();
-                        match client.request_raw(&frames[i]) {
-                            Ok((_id, resp)) => tally.record(t0, &resp),
-                            Err(e) => {
-                                eprintln!("revel-client: connection {conn}: {e}");
-                                tally.errors.fetch_add(1, Ordering::Relaxed);
-                                return;
-                            }
-                        }
-                        i += args.connections;
-                    }
+                let (frames, decoded) = (&frames, &decoded);
+                s.spawn(move || match decoded {
+                    Some(reqs) => replay_retrying(args, conn, reqs, tally),
+                    None => replay_raw(args, conn, frames, tally),
                 });
             }
         });
     }
+}
+
+/// The legacy single-shot replay path: raw frames, byte-for-byte, no
+/// retries — a transport error aborts the connection.
+fn replay_raw(args: &Args, conn: usize, frames: &[String], tally: &Tally) {
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("revel-client: connection {conn}: {e}");
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut i = conn;
+    while i < frames.len() {
+        let t0 = Instant::now();
+        match client.request_raw(&frames[i]) {
+            Ok((_id, resp)) => tally.record(t0, &resp),
+            Err(e) => {
+                eprintln!("revel-client: connection {conn}: {e}");
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        i += args.connections;
+    }
+}
+
+/// The self-healing replay path: same per-connection retry policy and
+/// breaker as the grid load, so a chaos server's injected faults surface
+/// as retries rather than failed requests.
+fn replay_retrying(args: &Args, conn: usize, reqs: &[Request], tally: &Tally) {
+    let policy = RetryPolicy {
+        max_attempts: args.retries.max(1),
+        base_ms: args.backoff_base_ms,
+        cap_ms: args.backoff_cap_ms,
+        seed: args.retry_seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    };
+    let breaker = CircuitBreaker::new(
+        args.breaker_threshold,
+        Duration::from_millis(args.breaker_cooldown_ms),
+    );
+    let mut client = RetryClient::new(&args.addr, policy, breaker);
+    let mut i = conn;
+    while i < reqs.len() {
+        let t0 = Instant::now();
+        match client.request(&reqs[i]) {
+            Ok(resp) => {
+                tally.record(t0, &resp);
+                i += args.connections;
+            }
+            Err(ClientError::CircuitOpen) => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(args.breaker_cooldown_ms.max(1)));
+                // Same frame again after the cooldown: a replay must
+                // offer every request, even through an open circuit.
+            }
+            Err(e) => {
+                eprintln!("revel-client: connection {conn}: {e}");
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                i += args.connections;
+            }
+        }
+    }
+    tally.retries.fetch_add(client.retries(), Ordering::Relaxed);
+    tally.breaker_opens.fetch_add(client.breaker().opened_total(), Ordering::Relaxed);
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -298,7 +446,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: revel_client [--host H] [--port P] [--connections N] [--rps R] [--duration S]\n\
          \x20                 [--replay FILE] [--passes N] [--deadline-ms MS]\n\
-         \x20                 [--assert-p99-ms MS] [--assert-hit-rate F]"
+         \x20                 [--retries N] [--backoff-base-ms MS] [--backoff-cap-ms MS]\n\
+         \x20                 [--retry-seed SEED] [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
+         \x20                 [--assert-p99-ms MS] [--assert-hit-rate F] [--assert-success-rate F]"
     );
     std::process::exit(2);
 }

@@ -3,11 +3,15 @@
 //! ```text
 //! revel_serve                          # 127.0.0.1:7411, one worker/core
 //! revel_serve --port 7500 --workers 2 --queue 16 --cache-capacity 256
+//! revel_serve --chaos 0.1 --chaos-seed 7   # inject worker faults (10%)
 //! ```
 //!
 //! Speaks the JSON-lines protocol of `revel_serve::protocol` (DESIGN.md
 //! §11). SIGTERM/ctrl-c (or a `shutdown` request) drains in-flight work
-//! and exits 0 with a final stats line on stderr.
+//! and exits 0 with a final stats line on stderr; a second signal during
+//! the drain force-exits with code 3. `--chaos R` makes each worker
+//! deterministically fail a fraction `R` of jobs (panic / delay /
+//! fault-plan simulation) so client retry logic can be drilled.
 
 use revel_serve::server::{Server, ServerConfig};
 use revel_serve::signal;
@@ -25,6 +29,8 @@ fn main() {
             "--port" => port = parse(&val("--port"), "--port"),
             "--workers" => cfg.workers = parse(&val("--workers"), "--workers"),
             "--queue" => cfg.queue_capacity = parse(&val("--queue"), "--queue"),
+            "--chaos" => cfg.chaos_rate = parse(&val("--chaos"), "--chaos"),
+            "--chaos-seed" => cfg.chaos_seed = parse(&val("--chaos-seed"), "--chaos-seed"),
             "--cache-capacity" => {
                 revel_core::engine::set_cache_capacity(parse(
                     &val("--cache-capacity"),
@@ -46,8 +52,13 @@ fn main() {
         }
     };
     let addr = server.local_addr().map(|a| a.to_string()).unwrap_or(cfg.addr.clone());
+    let chaos = if cfg.chaos_rate > 0.0 {
+        format!(", chaos rate {} seed {}", cfg.chaos_rate, cfg.chaos_seed)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "revel-serve: listening on {addr} ({} worker(s), queue capacity {}, cache capacity {})",
+        "revel-serve: listening on {addr} ({} worker(s), queue capacity {}, cache capacity {}{chaos})",
         if cfg.workers == 0 { revel_core::engine::jobs() } else { cfg.workers },
         cfg.queue_capacity,
         revel_core::engine::cache_capacity(),
@@ -73,7 +84,8 @@ fn usage(err: &str) -> ! {
         eprintln!("revel-serve: {err}");
     }
     eprintln!(
-        "usage: revel_serve [--host H] [--port P] [--workers N] [--queue N] [--cache-capacity N]"
+        "usage: revel_serve [--host H] [--port P] [--workers N] [--queue N] [--cache-capacity N] \
+         [--chaos RATE] [--chaos-seed SEED]"
     );
     std::process::exit(2);
 }

@@ -50,6 +50,16 @@ pub enum Request {
         /// Run on the naive reference stepper (oracle mode). Bypasses the
         /// cache for the same reason.
         reference_stepper: bool,
+        /// Seed for a deterministic fault plan. Set ⇒ the run injects the
+        /// plan's fault events, always bypasses the cache, and is answered
+        /// with a `faulted` response carrying the snapshot counts.
+        fault_seed: Option<u64>,
+        /// Fault events to draw (default 4; meaningful only with
+        /// `fault_seed`).
+        fault_count: Option<u64>,
+        /// Injection window in cycles (default 4096; meaningful only with
+        /// `fault_seed`).
+        fault_window: Option<u64>,
     },
     /// Run every static lint over one cell's build (lint cache).
     Lint {
@@ -89,6 +99,8 @@ pub struct EngineStatsWire {
     pub sim_cycles: u64,
     /// Cycles the event-horizon kernel skipped.
     pub skipped_cycles: u64,
+    /// Fault-injected / degraded runs that bypassed the cache entirely.
+    pub fault_bypasses: u64,
 }
 
 /// Schedule-cache counters on the wire (mirrors
@@ -180,19 +192,70 @@ pub enum Response {
         /// Rendered diagnostics.
         diagnostics: Vec<String>,
     },
+    /// A simulation that carried a fault plan (explicit `fault_seed` or a
+    /// chaos-mode injection). Never a trusted result: the client is
+    /// expected to inspect the counts or retry without the plan.
+    Faulted {
+        /// Cycles executed.
+        cycles: u64,
+        /// Fault events that observably perturbed the machine.
+        applied: u64,
+        /// Events whose target had nothing to perturb (empty FIFO, already
+        /// dead region).
+        missed: u64,
+        /// Events scheduled after the run ended.
+        pending: u64,
+        /// Cycle of the first applied event, when any applied.
+        first_divergence: Option<u64>,
+    },
     /// The bounded queue was full; the request was not admitted.
     Overloaded {
         /// The queue capacity that was exceeded.
         capacity: u64,
+        /// Server's backoff hint, derived from queue depth. Omitted from
+        /// the wire when absent, so hint-free frames are byte-identical to
+        /// the pre-hint protocol.
+        retry_after_ms: Option<u64>,
     },
     /// A structured failure.
     Error {
         /// Stable machine-readable kind (`bad_request`, `unknown_bench`,
-        /// `oversized_frame`, `shutting_down`, `internal`).
+        /// `oversized_frame`, `shutting_down`, `injected_fault`,
+        /// `internal`).
         kind: String,
         /// Human-readable detail.
         message: String,
+        /// Backoff hint for transient kinds (`injected_fault`,
+        /// `shutting_down`); omitted from the wire when absent.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl Response {
+    /// A structured error with no retry hint (the common case).
+    pub fn error(kind: &str, message: impl Into<String>) -> Response {
+        Response::Error { kind: kind.to_string(), message: message.into(), retry_after_ms: None }
+    }
+
+    /// True for responses a client may transparently retry: the request
+    /// was not served (or was served by an injected fault), and a later
+    /// attempt can succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Response::Overloaded { .. } => true,
+            Response::Error { kind, .. } => kind == "injected_fault" || kind == "shutting_down",
+            _ => false,
+        }
+    }
+
+    /// The server's backoff hint, when one was attached.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Response::Overloaded { retry_after_ms, .. }
+            | Response::Error { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
 }
 
 /// A decode failure (malformed JSON or schema violation).
@@ -253,7 +316,17 @@ pub fn encode_request(id: u64, req: &Request) -> String {
             op("sleep");
             fields.push(("ms".to_string(), Value::u64(*ms)));
         }
-        Request::Simulate { bench, params, arch, deadline_ms, max_cycles, reference_stepper } => {
+        Request::Simulate {
+            bench,
+            params,
+            arch,
+            deadline_ms,
+            max_cycles,
+            reference_stepper,
+            fault_seed,
+            fault_count,
+            fault_window,
+        } => {
             op("simulate");
             fields.push(("bench".to_string(), Value::str(bench)));
             fields.push(("params".to_string(), Value::str(params)));
@@ -266,6 +339,17 @@ pub fn encode_request(id: u64, req: &Request) -> String {
             }
             if *reference_stepper {
                 fields.push(("reference_stepper".to_string(), Value::Bool(true)));
+            }
+            // Fault fields are emitted only when set, so fault-free frames
+            // are byte-identical to the pre-fault protocol.
+            if let Some(s) = fault_seed {
+                fields.push(("fault_seed".to_string(), Value::u64(*s)));
+            }
+            if let Some(c) = fault_count {
+                fields.push(("fault_count".to_string(), Value::u64(*c)));
+            }
+            if let Some(w) = fault_window {
+                fields.push(("fault_window".to_string(), Value::u64(*w)));
             }
         }
         Request::Lint { bench, params, arch } => {
@@ -308,6 +392,9 @@ pub fn decode_request(line: &str) -> Result<(u64, Request), ProtoError> {
             deadline_ms: opt_u64(&v, "deadline_ms")?,
             max_cycles: opt_u64(&v, "max_cycles")?,
             reference_stepper: opt_bool(&v, "reference_stepper")?,
+            fault_seed: opt_u64(&v, "fault_seed")?,
+            fault_count: opt_u64(&v, "fault_count")?,
+            fault_window: opt_u64(&v, "fault_window")?,
         },
         "lint" => Request::Lint {
             bench: req_str(&v, "bench")?,
@@ -349,6 +436,7 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                     ("lint_entries", engine.lint_entries),
                     ("sim_cycles", engine.sim_cycles),
                     ("skipped_cycles", engine.skipped_cycles),
+                    ("fault_bypasses", engine.fault_bypasses),
                 ]),
             ));
             fields.push((
@@ -406,14 +494,30 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                 Value::Arr(diagnostics.iter().map(Value::str).collect()),
             ));
         }
-        Response::Overloaded { capacity } => {
+        Response::Faulted { cycles, applied, missed, pending, first_divergence } => {
+            kind("faulted");
+            fields.push(("cycles".to_string(), Value::u64(*cycles)));
+            fields.push(("applied".to_string(), Value::u64(*applied)));
+            fields.push(("missed".to_string(), Value::u64(*missed)));
+            fields.push(("pending".to_string(), Value::u64(*pending)));
+            if let Some(c) = first_divergence {
+                fields.push(("first_divergence".to_string(), Value::u64(*c)));
+            }
+        }
+        Response::Overloaded { capacity, retry_after_ms } => {
             kind("overloaded");
             fields.push(("capacity".to_string(), Value::u64(*capacity)));
+            if let Some(ms) = retry_after_ms {
+                fields.push(("retry_after_ms".to_string(), Value::u64(*ms)));
+            }
         }
-        Response::Error { kind: k, message } => {
+        Response::Error { kind: k, message, retry_after_ms } => {
             kind("error");
             fields.push(("kind".to_string(), Value::str(k)));
             fields.push(("message".to_string(), Value::str(message)));
+            if let Some(ms) = retry_after_ms {
+                fields.push(("retry_after_ms".to_string(), Value::u64(*ms)));
+            }
         }
     }
     let mut line = Value::Obj(fields).render();
@@ -455,6 +559,7 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     "lint_entries",
                     "sim_cycles",
                     "skipped_cycles",
+                    "fault_bypasses",
                 ],
             )?;
             let s = wire_counters(&v, "schedule_cache_stats", &["hits", "misses", "entries"])?;
@@ -473,6 +578,7 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     lint_entries: e[5],
                     sim_cycles: e[6],
                     skipped_cycles: e[7],
+                    fault_bypasses: e[8],
                 },
                 schedule: ScheduleStatsWire { hits: s[0], misses: s[1], entries: s[2] },
                 server: ServerStatsWire {
@@ -521,8 +627,22 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                 .map(|d| d.as_str().map(str::to_owned).ok_or_else(|| bad("non-string diagnostic")))
                 .collect::<Result<Vec<_>, _>>()?,
         },
-        "overloaded" => Response::Overloaded { capacity: req_u64(&v, "capacity")? },
-        "error" => Response::Error { kind: req_str(&v, "kind")?, message: req_str(&v, "message")? },
+        "faulted" => Response::Faulted {
+            cycles: req_u64(&v, "cycles")?,
+            applied: req_u64(&v, "applied")?,
+            missed: req_u64(&v, "missed")?,
+            pending: req_u64(&v, "pending")?,
+            first_divergence: opt_u64(&v, "first_divergence")?,
+        },
+        "overloaded" => Response::Overloaded {
+            capacity: req_u64(&v, "capacity")?,
+            retry_after_ms: opt_u64(&v, "retry_after_ms")?,
+        },
+        "error" => Response::Error {
+            kind: req_str(&v, "kind")?,
+            message: req_str(&v, "message")?,
+            retry_after_ms: opt_u64(&v, "retry_after_ms")?,
+        },
         other => return Err(bad(format!("unknown response type '{other}'"))),
     };
     Ok((id, resp))

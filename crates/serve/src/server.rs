@@ -29,7 +29,8 @@ use crate::queue::{Bounded, PushError};
 use crate::signal;
 use revel_bench::grid;
 use revel_core::engine;
-use revel_core::sim::SimOptions;
+use revel_core::isa::Rng;
+use revel_core::sim::{FaultPlan, SimOptions};
 use revel_core::workloads::run_workload_with;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -54,11 +55,24 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded-queue capacity (admitted-but-unserved requests).
     pub queue_capacity: usize,
+    /// Chaos mode: probability in [0, 1] that a worker injects a fault
+    /// (panic, delay, or fault-plan simulation) into a popped job. 0
+    /// disables chaos entirely.
+    pub chaos_rate: f64,
+    /// Seed for the per-worker chaos RNG streams (deterministic given the
+    /// seed, worker count, and per-worker job order).
+    pub chaos_seed: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:7411".to_string(), workers: 0, queue_capacity: 64 }
+        ServerConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            chaos_rate: 0.0,
+            chaos_seed: 0,
+        }
     }
 }
 
@@ -76,14 +90,21 @@ pub struct FinalStats {
     pub timed_out: u64,
     /// Requests answered with a structured error.
     pub errors: u64,
+    /// Chaos-mode fault injections (panics, delays, fault-plan runs).
+    pub injected: u64,
 }
 
 impl std::fmt::Display for FinalStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "received {}, completed {}, overloaded {}, timed_out {}, errors {}",
-            self.received, self.completed, self.overloaded, self.timed_out, self.errors
+            "received {}, completed {}, overloaded {}, timed_out {}, errors {}, injected {}",
+            self.received,
+            self.completed,
+            self.overloaded,
+            self.timed_out,
+            self.errors,
+            self.injected
         )
     }
 }
@@ -100,11 +121,14 @@ struct Shared {
     queue: Bounded<Job>,
     shutdown: AtomicBool,
     workers: usize,
+    chaos_rate: f64,
+    chaos_seed: u64,
     received: AtomicU64,
     completed: AtomicU64,
     overloaded: AtomicU64,
     timed_out: AtomicU64,
     errors: AtomicU64,
+    injected: AtomicU64,
 }
 
 impl Shared {
@@ -119,7 +143,16 @@ impl Shared {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Backoff hint in milliseconds, derived from the queue depth: an
+    /// empty queue suggests an almost-immediate retry, a deep one scales
+    /// the wait by the backlog per worker.
+    fn retry_hint_ms(&self) -> u64 {
+        let depth = self.queue.len() as u64;
+        5 + depth * 25 / self.workers.max(1) as u64
     }
 }
 
@@ -145,11 +178,14 @@ impl Server {
                 queue: Bounded::new(cfg.queue_capacity),
                 shutdown: AtomicBool::new(false),
                 workers,
+                chaos_rate: cfg.chaos_rate.clamp(0.0, 1.0),
+                chaos_seed: cfg.chaos_seed,
                 received: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 overloaded: AtomicU64::new(0),
                 timed_out: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
             },
         })
     }
@@ -181,7 +217,7 @@ impl Server {
             // one long-lived worker loop per slot.
             let pool = scope.spawn(move || {
                 let slots: Vec<usize> = (0..shared.workers).collect();
-                engine::par_map_jobs(&slots, shared.workers, |_| worker_loop(shared));
+                engine::par_map_jobs(&slots, shared.workers, |slot| worker_loop(shared, *slot));
             });
             let mut conns = Vec::new();
             loop {
@@ -215,10 +251,83 @@ impl Server {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Marker payload for chaos panics: the unwind handler rewrites exactly
+/// this message into a retryable `injected_fault` error; every other panic
+/// stays a non-retryable `internal` error.
+const CHAOS_PANIC_MSG: &str = "chaos: injected worker panic";
+
+/// The three worker-side chaos faults `--chaos` draws from.
+#[derive(Clone, Copy)]
+enum ChaosKind {
+    /// Panic mid-request (exercises the catch_unwind fence).
+    Panic,
+    /// Hold the worker briefly, then serve the request correctly (a pure
+    /// latency fault — the response is still the right answer).
+    Delay,
+    /// Run a simulate request under an injected fault plan; answer with a
+    /// retryable error so the client retries onto a clean pass.
+    FaultSim,
+}
+
+impl ChaosKind {
+    fn pick(rng: &mut Rng) -> ChaosKind {
+        match rng.gen_index(3) {
+            0 => ChaosKind::Panic,
+            1 => ChaosKind::Delay,
+            _ => ChaosKind::FaultSim,
+        }
+    }
+}
+
+/// Chaos `FaultSim`: the request is actually simulated — with a seeded
+/// fault plan injected — through the engine's uncached path, then answered
+/// with a retryable error. Non-simulate ops have no machine to perturb and
+/// get the error directly.
+fn execute_fault_sim(req: &Request, seed: u64, shared: &Shared) -> Response {
+    let injected = Response::Error {
+        kind: "injected_fault".to_string(),
+        message: "chaos: fault-plan run, result untrusted".to_string(),
+        retry_after_ms: Some(shared.retry_hint_ms()),
+    };
+    if let Request::Simulate { bench, params, arch, .. } = req {
+        if bench != probe::BENCH_NAME {
+            if let Some((b, cfg)) = grid::resolve(bench, params, arch) {
+                // Result (and any simulator error) deliberately discarded:
+                // a faulted run is untrusted by definition, and the engine
+                // guarantees it never lands in the cache.
+                let _ = engine::run_fault_injected(b, &cfg, FaultPlan::new(seed, 4, 4096));
+            }
+        }
+    }
+    injected
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    // Each worker owns a deterministic chaos stream: same seed, worker
+    // count, and per-worker job order ⇒ same injection decisions. (Which
+    // worker pops which job is scheduling-dependent — chaos determinism is
+    // per-stream, convergence of retried results is what the tests pin.)
+    let mut rng =
+        Rng::seed_from_u64(shared.chaos_seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     while let Some(job) = shared.queue.pop() {
+        let chaos = if shared.chaos_rate > 0.0 && rng.gen_f64() < shared.chaos_rate {
+            shared.injected.fetch_add(1, Ordering::Relaxed);
+            Some(ChaosKind::pick(&mut rng))
+        } else {
+            None
+        };
         let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(&job.req, job.deadline)
+            match chaos {
+                // The panic rides the same catch_unwind fence real bugs
+                // do — chaos proves the fence, not a parallel code path.
+                Some(ChaosKind::Panic) => panic!("{CHAOS_PANIC_MSG}"),
+                Some(ChaosKind::Delay) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    execute(&job.req, job.deadline)
+                }
+                Some(ChaosKind::FaultSim) => execute_fault_sim(&job.req, rng.next_u64(), shared),
+                None => execute(&job.req, job.deadline),
+            }
         }))
         .unwrap_or_else(|payload| {
             let msg = payload
@@ -226,7 +335,15 @@ fn worker_loop(shared: &Shared) {
                 .cloned()
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
                 .unwrap_or_else(|| "request panicked".to_string());
-            Response::Error { kind: "internal".to_string(), message: msg }
+            if msg == CHAOS_PANIC_MSG {
+                Response::Error {
+                    kind: "injected_fault".to_string(),
+                    message: msg,
+                    retry_after_ms: Some(shared.retry_hint_ms()),
+                }
+            } else {
+                Response::error("internal", msg)
+            }
         });
         match &resp {
             Response::TimedOut { .. } => shared.timed_out.fetch_add(1, Ordering::Relaxed),
@@ -251,13 +368,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         match frames.next_frame() {
             Ok(None) => break, // client closed
             Ok(Some(Frame::Oversized(n))) => {
-                let resp = Response::Error {
-                    kind: "oversized_frame".to_string(),
-                    message: format!(
+                let resp = Response::error(
+                    "oversized_frame",
+                    format!(
                         "frame of {n}+ bytes exceeds the {}-byte bound",
                         crate::protocol::MAX_FRAME_BYTES
                     ),
-                };
+                );
                 shared.errors.fetch_add(1, Ordering::Relaxed);
                 let _ = writer.write_all(encode_response(0, &resp).as_bytes());
                 break; // framing is lost; close the connection
@@ -291,8 +408,7 @@ fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
         Ok(ok) => ok,
         Err(e) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
-            let resp =
-                Response::Error { kind: "bad_request".to_string(), message: e.message.clone() };
+            let resp = Response::error("bad_request", e.message.clone());
             let _ = writer.write_all(encode_response(0, &resp).as_bytes());
             return false;
         }
@@ -331,7 +447,12 @@ fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
             shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            let resp = Response::Overloaded { capacity: shared.queue.capacity() as u64 };
+            // The hint scales with the backlog the rejected caller saw: a
+            // full queue means at least capacity jobs ahead of a retry.
+            let resp = Response::Overloaded {
+                capacity: shared.queue.capacity() as u64,
+                retry_after_ms: Some(shared.retry_hint_ms()),
+            };
             let _ = writer.write_all(encode_response(id, &resp).as_bytes());
             return false;
         }
@@ -340,6 +461,7 @@ fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
             let resp = Response::Error {
                 kind: "shutting_down".to_string(),
                 message: "server is draining".to_string(),
+                retry_after_ms: Some(shared.retry_hint_ms()),
             };
             let _ = writer.write_all(encode_response(id, &resp).as_bytes());
             return true;
@@ -347,10 +469,9 @@ fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
     }
     // Block for the worker's answer: replies stay in request order per
     // connection, and shutdown never abandons an admitted request.
-    let resp = rx.recv().unwrap_or_else(|_| Response::Error {
-        kind: "internal".to_string(),
-        message: "worker dropped the reply channel".to_string(),
-    });
+    let resp = rx
+        .recv()
+        .unwrap_or_else(|_| Response::error("internal", "worker dropped the reply channel"));
     let _ = writer.write_all(encode_response(id, &resp).as_bytes());
     false
 }
@@ -369,6 +490,7 @@ fn stats_response(shared: &Shared) -> Response {
             lint_entries: e.lint_entries as u64,
             sim_cycles: e.sim_cycles,
             skipped_cycles: e.skipped_cycles,
+            fault_bypasses: e.fault_bypasses,
         },
         schedule: ScheduleStatsWire { hits: s.hits, misses: s.misses, entries: s.entries as u64 },
         server: ServerStatsWire {
@@ -388,7 +510,27 @@ fn execute(req: &Request, deadline: Option<Instant>) -> Response {
             std::thread::sleep(Duration::from_millis(*ms));
             Response::Slept { ms: *ms }
         }
-        Request::Simulate { bench, params, arch, max_cycles, reference_stepper, .. } => {
+        Request::Simulate {
+            bench,
+            params,
+            arch,
+            max_cycles,
+            reference_stepper,
+            fault_seed,
+            fault_count,
+            fault_window,
+            ..
+        } => {
+            if let Some(seed) = fault_seed {
+                return simulate_faulted(
+                    bench,
+                    params,
+                    arch,
+                    *seed,
+                    fault_count.unwrap_or(4),
+                    fault_window.unwrap_or(4096),
+                );
+            }
             simulate(bench, params, arch, deadline, *max_cycles, *reference_stepper)
         }
         Request::Lint { bench, params, arch } => match grid::resolve(bench, params, arch) {
@@ -408,23 +550,55 @@ fn execute(req: &Request, deadline: Option<Instant>) -> Response {
                     systolic_cycles: c.systolic_cycles,
                     dataflow_cycles: c.dataflow_cycles,
                 },
-                Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+                Err(e) => Response::error("sim_error", e.to_string()),
             },
             None => unknown_bench(bench, params, "-"),
         },
         // Control-plane ops never reach the queue.
-        Request::Health | Request::Stats | Request::Shutdown => Response::Error {
-            kind: "internal".to_string(),
-            message: "control-plane request routed to a worker".to_string(),
-        },
+        Request::Health | Request::Stats | Request::Shutdown => {
+            Response::error("internal", "control-plane request routed to a worker")
+        }
+    }
+}
+
+/// An explicit fault-injection request: builds the deterministic plan,
+/// runs it through the engine's uncached path, and reports the snapshot
+/// counts. The numeric result is never returned — a faulted run is
+/// untrusted by contract, whatever the verifier would have said.
+fn simulate_faulted(
+    bench: &str,
+    params: &str,
+    arch: &str,
+    seed: u64,
+    count: u64,
+    window: u64,
+) -> Response {
+    let Some((b, cfg)) = grid::resolve(bench, params, arch) else {
+        return unknown_bench(bench, params, arch);
+    };
+    let plan = FaultPlan::new(seed, count.min(u64::from(u32::MAX)) as u32, window.max(1));
+    match engine::run_fault_injected(b, &cfg, plan) {
+        Ok(run) => {
+            let snap = run.report.fault.as_ref();
+            let applied = snap.map_or(0, |s| s.applied_count() as u64);
+            let recorded = snap.map_or(0, |s| s.records.len() as u64);
+            Response::Faulted {
+                cycles: run.report.cycles,
+                applied,
+                missed: recorded - applied,
+                pending: snap.map_or(0, |s| u64::from(s.pending)),
+                first_divergence: snap.and_then(|s| s.first_divergence),
+            }
+        }
+        Err(e) => Response::error("sim_error", e.to_string()),
     }
 }
 
 fn unknown_bench(bench: &str, params: &str, arch: &str) -> Response {
-    Response::Error {
-        kind: "unknown_bench".to_string(),
-        message: format!("no evaluation-grid cell '{bench}' params='{params}' arch='{arch}'"),
-    }
+    Response::error(
+        "unknown_bench",
+        format!("no evaluation-grid cell '{bench}' params='{params}' arch='{arch}'"),
+    )
 }
 
 fn simulate(
@@ -442,7 +616,7 @@ fn simulate(
                 deadline_expired: report.deadline_expired,
                 deadlock: report.deadlock.as_ref().map(|d| d.to_string()),
             },
-            Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+            Err(e) => Response::error("sim_error", e.to_string()),
         };
     }
     let Some((b, cfg)) = grid::resolve(bench, params, arch) else {
@@ -479,7 +653,7 @@ fn simulate(
                 }
             }
         }
-        Err(e) => Response::Error { kind: "sim_error".to_string(), message: e.to_string() },
+        Err(e) => Response::error("sim_error", e.to_string()),
     }
 }
 
@@ -518,6 +692,9 @@ mod tests {
                 deadline_ms: None,
                 max_cycles: Some(50_000),
                 reference_stepper: false,
+                fault_seed: None,
+                fault_count: None,
+                fault_window: None,
             },
             None,
         );
@@ -540,6 +717,9 @@ mod tests {
                 deadline_ms: None,
                 max_cycles: None,
                 reference_stepper: false,
+                fault_seed: None,
+                fault_count: None,
+                fault_window: None,
             },
             None,
         );

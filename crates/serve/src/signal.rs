@@ -3,22 +3,31 @@
 //! The workspace carries no dependencies, so SIGTERM/SIGINT handling is
 //! done with a direct `extern "C"` declaration of libc's `signal` (std
 //! already links libc on every unix target — this adds no dependency).
-//! The handler does the only thing that is async-signal-safe: it stores
-//! into an `AtomicBool`, which the server's accept loop polls.
+//! The handler does the only thing that is async-signal-safe: it bumps an
+//! `AtomicU32`, which the server's accept loop polls.
+//!
+//! **Escalation:** the first signal requests a graceful drain. A second
+//! signal during the drain means the operator wants out *now*: the
+//! handler calls `_exit` (async-signal-safe, unlike `exit`) with
+//! [`FORCED_EXIT_CODE`] so the supervisor can tell a forced kill from a
+//! clean drain (code 0) or a startup failure (code 1).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-static REQUESTED: AtomicBool = AtomicBool::new(false);
+/// Process exit code for a second SIGTERM/SIGINT during drain.
+pub const FORCED_EXIT_CODE: i32 = 3;
+
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
 
 /// True once SIGTERM or SIGINT has been delivered (always false on
 /// non-unix targets and before [`install`]).
 pub fn shutdown_requested() -> bool {
-    REQUESTED.load(Ordering::SeqCst)
+    SIGNALS.load(Ordering::SeqCst) > 0
 }
 
 /// Test/driver hook: raise the flag without a signal.
 pub fn request_shutdown() {
-    REQUESTED.store(true, Ordering::SeqCst);
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
 }
 
 #[cfg(unix)]
@@ -30,19 +39,31 @@ mod imp {
     extern "C" {
         // libc: sighandler_t signal(int signum, sighandler_t handler);
         fn signal(signum: i32, handler: usize) -> usize;
+        // libc: _Noreturn void _exit(int status);
+        fn _exit(status: i32) -> !;
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        // Only an atomic store: allocation, locks, and I/O are all
-        // forbidden in a signal handler.
-        super::REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Only atomics and `_exit` here: allocation, locks, and buffered
+        // I/O are all forbidden in a signal handler.
+        let prior = SIGNALS_REF.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if prior >= 1 {
+            // Second signal while draining: the operator is done waiting.
+            // `_exit` skips atexit/destructors — exactly right, since the
+            // drain we are abandoning may hold locks.
+            // SAFETY: `_exit` is async-signal-safe per POSIX.
+            unsafe { _exit(super::FORCED_EXIT_CODE) }
+        }
     }
+
+    // A named alias keeps the handler body free of `super::` path noise.
+    use super::SIGNALS as SIGNALS_REF;
 
     pub fn install() {
         let handler: extern "C" fn(i32) = on_signal;
         // SAFETY: `signal` is the C standard library's handler
-        // registration; the handler above is async-signal-safe (a single
-        // atomic store, no allocation/locks/syscalls).
+        // registration; the handler above is async-signal-safe (atomic
+        // ops and `_exit` only, no allocation/locks/buffered I/O).
         unsafe {
             signal(SIGTERM, handler as usize);
             signal(SIGINT, handler as usize);
@@ -56,7 +77,8 @@ mod imp {
 }
 
 /// Installs SIGTERM/SIGINT handlers that raise the shutdown flag (no-op
-/// off unix; the `shutdown` request remains available everywhere).
+/// off unix; the `shutdown` request remains available everywhere). A
+/// second signal during the drain force-exits with [`FORCED_EXIT_CODE`].
 pub fn install() {
     imp::install();
 }

@@ -1,0 +1,221 @@
+//! Chaos-mode loopback tests: a server injecting worker-side faults at a
+//! fixed rate, self-healing clients retrying through them, and the
+//! acceptance criteria — every eventually-successful response is
+//! byte-identical to the batch path, no worker dies permanently, and the
+//! circuit breaker opens under sustained overload and recovers after it.
+
+use revel_core::Bench;
+use revel_serve::client::{CircuitBreaker, Client, ClientError, RetryClient, RetryPolicy};
+use revel_serve::protocol::{encode_response, Request, Response};
+use revel_serve::server::{response_for_run, FinalStats, Server, ServerConfig};
+use std::time::Duration;
+
+fn start_chaos(
+    workers: usize,
+    queue_capacity: usize,
+    chaos_rate: f64,
+    chaos_seed: u64,
+) -> (String, std::thread::JoinHandle<FinalStats>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity,
+        chaos_rate,
+        chaos_seed,
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    // Shutdown is answered inline (control plane): chaos never touches it.
+    assert_eq!(c.request(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown);
+}
+
+fn simulate_req(bench: &Bench, arch: &str) -> Request {
+    Request::Simulate {
+        bench: bench.name().to_string(),
+        params: bench.params(),
+        arch: arch.to_string(),
+        deadline_ms: None,
+        max_cycles: None,
+        reference_stepper: false,
+        fault_seed: None,
+        fault_count: None,
+        fault_window: None,
+    }
+}
+
+/// Acceptance criterion: with a fixed chaos seed and a 10% injection rate,
+/// three retrying clients against two workers converge — every request
+/// eventually succeeds, and each success is byte-identical to what
+/// `Bench::run` produces. Faults were really injected (server counter) and
+/// neither worker died permanently (the pool still serves after the storm).
+#[test]
+fn chaos_at_ten_percent_converges_to_byte_identical_results() {
+    use revel_core::compiler::BuildCfg;
+    let (addr, handle) = start_chaos(2, 16, 0.1, 7);
+
+    let cells: Vec<(Bench, &str, BuildCfg)> = vec![
+        (Bench::Solver { n: 12 }, "revel", BuildCfg::revel(1)),
+        (Bench::Fft { n: 64 }, "revel", BuildCfg::revel(1)),
+        (Bench::Qr { n: 12 }, "revel", BuildCfg::revel(1)),
+        (Bench::Svd { n: 12 }, "revel", BuildCfg::revel(1)),
+    ];
+    let expected: Vec<Response> = cells
+        .iter()
+        .map(|(b, _, cfg)| response_for_run(&b.run(cfg).expect("batch path runs")))
+        .collect();
+
+    std::thread::scope(|s| {
+        for client_no in 0..3u64 {
+            let (addr, cells, expected) = (&addr, &cells, &expected);
+            s.spawn(move || {
+                // Plenty of attempts: at a 10% fault rate the odds of nine
+                // consecutive injections on one request are negligible, so
+                // every request converges.
+                let policy =
+                    RetryPolicy { max_attempts: 9, base_ms: 2, cap_ms: 40, seed: client_no };
+                let breaker = CircuitBreaker::new(10, Duration::from_millis(100));
+                let mut rc = RetryClient::new(addr, policy, breaker);
+                for pass in 0..3 {
+                    for k in 0..cells.len() {
+                        let i = (k + pass) % cells.len();
+                        let (bench, arch, _) = &cells[i];
+                        let got = rc.request(&simulate_req(bench, arch)).expect("converges");
+                        assert_eq!(
+                            encode_response(9, &got),
+                            encode_response(9, &expected[i]),
+                            "client {client_no}: {} [{arch}] diverged after retries",
+                            bench.name()
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // No worker died permanently: more sequential jobs than workers all
+    // complete after the chaos traffic (a dead slot would hang one).
+    let policy = RetryPolicy { max_attempts: 9, base_ms: 2, cap_ms: 40, seed: 99 };
+    let mut rc =
+        RetryClient::new(&addr, policy, CircuitBreaker::new(10, Duration::from_millis(100)));
+    for _ in 0..4 {
+        assert_eq!(
+            rc.request(&Request::Sleep { ms: 1 }).expect("pool alive"),
+            Response::Slept { ms: 1 }
+        );
+    }
+
+    shutdown(&addr);
+    let stats = handle.join().expect("server thread");
+    assert!(stats.injected > 0, "chaos must actually have injected faults: {stats}");
+    assert!(
+        stats.completed > stats.injected,
+        "most traffic still completed around the injections: {stats}"
+    );
+}
+
+/// Acceptance criterion: the circuit breaker opens under sustained
+/// overload (fail-fast without touching the wire) and recovers through a
+/// half-open probe once the backlog clears.
+#[test]
+fn breaker_opens_under_overload_and_recovers() {
+    // No chaos here: overload is produced deterministically by occupying
+    // the single worker and the single queue slot.
+    let (addr, handle) = start_chaos(1, 1, 0.0, 0);
+
+    let mut busy = Client::connect(&addr).expect("connect");
+    let t_busy = std::thread::spawn(move || busy.request(&Request::Sleep { ms: 900 }));
+    std::thread::sleep(Duration::from_millis(150)); // worker popped it
+
+    let mut queued = Client::connect(&addr).expect("connect");
+    let t_queued = std::thread::spawn(move || queued.request(&Request::Sleep { ms: 50 }));
+    std::thread::sleep(Duration::from_millis(150)); // queue slot taken
+
+    // max_attempts 1: each overloaded answer is a request-level failure.
+    let policy = RetryPolicy { max_attempts: 1, base_ms: 1, cap_ms: 5, seed: 0 };
+    let mut rc =
+        RetryClient::new(&addr, policy, CircuitBreaker::new(3, Duration::from_millis(250)));
+    for i in 0..3 {
+        match rc.request(&Request::Sleep { ms: 1 }).expect("served an answer") {
+            Response::Overloaded { retry_after_ms, .. } => {
+                assert!(retry_after_ms.is_some(), "overload carries a hint (attempt {i})");
+            }
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+    }
+    assert!(rc.breaker().is_open(), "three consecutive failures must open the circuit");
+    assert_eq!(rc.breaker().opened_total(), 1);
+
+    // While open: fail-fast, no wire traffic.
+    match rc.request(&Request::Sleep { ms: 1 }) {
+        Err(ClientError::CircuitOpen) => {}
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+
+    // Backlog clears; after the cooldown the half-open probe succeeds and
+    // the breaker closes again.
+    assert_eq!(t_busy.join().unwrap().expect("busy"), Response::Slept { ms: 900 });
+    assert_eq!(t_queued.join().unwrap().expect("queued"), Response::Slept { ms: 50 });
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        rc.request(&Request::Sleep { ms: 1 }).expect("probe"),
+        Response::Slept { ms: 1 },
+        "half-open probe must reach the drained server"
+    );
+    assert!(!rc.breaker().is_open(), "a successful probe closes the circuit");
+
+    shutdown(&addr);
+    let stats = handle.join().expect("server thread");
+    assert!(stats.overloaded >= 3, "{stats}");
+}
+
+/// A fault-seeded simulate request is answered with a structured `faulted`
+/// snapshot (never a cached clean result), and the same seed yields the
+/// same snapshot — over the wire, not just in-process.
+#[test]
+fn fault_seeded_requests_report_deterministic_snapshots() {
+    let (addr, handle) = start_chaos(2, 8, 0.0, 0);
+    let mut c = Client::connect(&addr).expect("connect");
+    let bench = Bench::Qr { n: 12 };
+    let fault_req = |seed: u64| Request::Simulate {
+        bench: bench.name().to_string(),
+        params: bench.params(),
+        arch: "revel".to_string(),
+        deadline_ms: None,
+        max_cycles: None,
+        reference_stepper: false,
+        fault_seed: Some(seed),
+        fault_count: Some(8),
+        fault_window: Some(1200),
+    };
+
+    // Not every seed's events hit a live target (a drawn port may be idle
+    // at that cycle); scan a deterministic seed range for one that applies
+    // — the scan itself is reproducible, so the test is too.
+    let (seed, first) = (0..32)
+        .find_map(|seed| match c.request(&fault_req(seed)).expect("faulted simulate") {
+            resp @ Response::Faulted { applied, .. } if applied > 0 => Some((seed, resp)),
+            Response::Faulted { .. } => None,
+            other => panic!("expected faulted, got {other:?}"),
+        })
+        .expect("some seed in 0..32 must land a fault");
+    let second = c.request(&fault_req(seed)).expect("repeat faulted simulate");
+    assert_eq!(
+        encode_response(1, &first),
+        encode_response(1, &second),
+        "same seed, same snapshot, byte for byte"
+    );
+
+    // The clean path is untouched: the same cell without a fault seed
+    // still verifies (the faulted runs never reached the cache).
+    let clean = c.request(&simulate_req(&bench, "revel")).expect("clean simulate");
+    assert!(matches!(clean, Response::Result { verified: true, .. }), "{clean:?}");
+
+    shutdown(&addr);
+    handle.join().expect("server thread");
+}

@@ -17,7 +17,12 @@ use std::time::Duration;
 /// handle for the final counters. The in-process signal flag is global, so
 /// these tests never touch it — each server has its own flag.
 fn start(workers: usize, queue_capacity: usize) -> (String, std::thread::JoinHandle<FinalStats>) {
-    let cfg = ServerConfig { addr: "127.0.0.1:0".to_string(), workers, queue_capacity };
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity,
+        ..Default::default()
+    };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
     let handle = std::thread::spawn(move || server.serve().expect("serve"));
@@ -38,6 +43,9 @@ fn simulate_req(bench: &Bench, arch: &str) -> Request {
         deadline_ms: None,
         max_cycles: None,
         reference_stepper: false,
+        fault_seed: None,
+        fault_count: None,
+        fault_window: None,
     }
 }
 
@@ -116,7 +124,12 @@ fn full_queue_yields_structured_overload() {
     let t0 = std::time::Instant::now();
     let resp = reject.request(&Request::Sleep { ms: 1 }).expect("overload response");
     let waited = t0.elapsed();
-    assert_eq!(resp, Response::Overloaded { capacity: 1 });
+    match &resp {
+        Response::Overloaded { capacity: 1, retry_after_ms: Some(hint) } => {
+            assert!(*hint >= 5, "queue-depth-derived hint, got {hint}");
+        }
+        other => panic!("expected overloaded with a retry hint, got {other:?}"),
+    }
     assert!(waited < Duration::from_millis(300), "rejection must be immediate, took {waited:?}");
 
     // Control plane still answers while saturated.
@@ -175,6 +188,9 @@ fn deadlock_probe_snapshot_matches_batch_path() {
             deadline_ms: None,
             max_cycles: Some(budget),
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         })
         .expect("probe over the wire");
     match resp {
@@ -200,6 +216,9 @@ fn deadlock_probe_snapshot_matches_batch_path() {
             deadline_ms: Some(0),
             max_cycles: None,
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         })
         .expect("deadline probe");
     match resp {
@@ -233,6 +252,9 @@ fn request_deadlines_compose_with_real_cells() {
             deadline_ms: Some(0),
             max_cycles: None,
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         })
         .expect("expired-deadline simulate");
     match resp {
@@ -249,6 +271,9 @@ fn request_deadlines_compose_with_real_cells() {
             deadline_ms: Some(600_000),
             max_cycles: None,
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         })
         .expect("generous-deadline simulate");
     let expected = response_for_run(

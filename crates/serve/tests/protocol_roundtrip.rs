@@ -22,6 +22,9 @@ fn every_request() -> Vec<Request> {
             deadline_ms: None,
             max_cycles: None,
             reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
         },
         Request::Simulate {
             bench: "deadlock-probe".into(),
@@ -30,6 +33,20 @@ fn every_request() -> Vec<Request> {
             deadline_ms: Some(1500),
             max_cycles: Some(100_000),
             reference_stepper: true,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
+        },
+        Request::Simulate {
+            bench: "cholesky".into(),
+            params: "n=12".into(),
+            arch: "revel".into(),
+            deadline_ms: None,
+            max_cycles: None,
+            reference_stepper: false,
+            fault_seed: Some(0xDEAD_BEEF),
+            fault_count: Some(4),
+            fault_window: Some(4096),
         },
         Request::Lint {
             bench: "fir".into(),
@@ -53,6 +70,7 @@ fn every_response() -> Vec<Response> {
                 lint_entries: 1,
                 sim_cycles: 123_456_789,
                 skipped_cycles: 100_000_000,
+                fault_bypasses: 6,
             },
             schedule: ScheduleStatsWire { hits: 40, misses: 5, entries: 5 },
             server: ServerStatsWire {
@@ -84,9 +102,60 @@ fn every_response() -> Vec<Response> {
             clean: false,
             diagnostics: vec!["W001: unused port".into(), "E002: deadlock".into()],
         },
-        Response::Overloaded { capacity: 64 },
-        Response::Error { kind: "bad_request".into(), message: "missing field 'op'".into() },
+        Response::Overloaded { capacity: 64, retry_after_ms: None },
+        Response::Overloaded { capacity: 1, retry_after_ms: Some(30) },
+        Response::Error {
+            kind: "bad_request".into(),
+            message: "missing field 'op'".into(),
+            retry_after_ms: None,
+        },
+        Response::Error {
+            kind: "injected_fault".into(),
+            message: "chaos: injected worker panic".into(),
+            retry_after_ms: Some(15),
+        },
+        Response::Faulted {
+            cycles: 88_001,
+            applied: 3,
+            missed: 1,
+            pending: 0,
+            first_divergence: Some(1042),
+        },
+        Response::Faulted { cycles: 12, applied: 0, missed: 4, pending: 0, first_divergence: None },
     ]
+}
+
+/// The no-hint encodings must be byte-identical to the pre-fault wire
+/// format: old clients keep decoding new servers (and canned replay files
+/// keep replaying) unchanged.
+#[test]
+fn hint_free_frames_match_the_legacy_wire_format() {
+    let over = Response::Overloaded { capacity: 64, retry_after_ms: None };
+    assert_eq!(encode_response(1, &over), "{\"id\":1,\"type\":\"overloaded\",\"capacity\":64}\n");
+    let err = Response::Error {
+        kind: "bad_request".into(),
+        message: "nope".into(),
+        retry_after_ms: None,
+    };
+    assert_eq!(
+        encode_response(2, &err),
+        "{\"id\":2,\"type\":\"error\",\"kind\":\"bad_request\",\"message\":\"nope\"}\n"
+    );
+    let req = Request::Simulate {
+        bench: "qr".into(),
+        params: "n=12".into(),
+        arch: "revel".into(),
+        deadline_ms: None,
+        max_cycles: None,
+        reference_stepper: false,
+        fault_seed: None,
+        fault_count: None,
+        fault_window: None,
+    };
+    assert_eq!(
+        encode_request(3, &req),
+        "{\"id\":3,\"op\":\"simulate\",\"bench\":\"qr\",\"params\":\"n=12\",\"arch\":\"revel\"}\n"
+    );
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Signal escalation, end to end: a first SIGTERM starts a graceful
+//! drain; a second one during the drain force-exits the process with the
+//! distinct [`FORCED_EXIT_CODE`] — the operator can always get out, and
+//! the supervisor can tell a forced kill from a clean drain.
+
+#![cfg(unix)]
+
+use revel_serve::client::Client;
+use revel_serve::protocol::Request;
+use revel_serve::signal::FORCED_EXIT_CODE;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Spawns the real `revel_serve` binary on an ephemeral port and returns
+/// (child, addr) once the listening line appears on stderr.
+fn spawn_server(extra: &[&str]) -> (std::process::Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_revel_serve"));
+    cmd.args(["--port", "0", "--workers", "1", "--queue", "4"])
+        .args(extra)
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn revel_serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines.next().expect("stderr open").expect("stderr line");
+        if let Some(rest) = line.strip_prefix("revel-serve: listening on ") {
+            break rest.split_whitespace().next().expect("addr token").to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn send_signal(pid: u32, sig: &str) {
+    let status =
+        Command::new("kill").args(["-s", sig, &pid.to_string()]).status().expect("run kill");
+    assert!(status.success(), "kill -s {sig} {pid} failed");
+}
+
+#[test]
+fn second_sigterm_during_drain_forces_exit_code_3() {
+    let (mut child, addr) = spawn_server(&[]);
+    let pid = child.id();
+
+    // Occupy the single worker so the post-SIGTERM drain has real work to
+    // wait on — the server cannot exit cleanly while this is in flight.
+    let mut c = Client::connect(&addr).expect("connect");
+    let holder = std::thread::spawn(move || {
+        // The sleep outlives the test's signals; the forced exit severs
+        // the connection mid-request, which surfaces as a client error.
+        let _ = c.request(&Request::Sleep { ms: 20_000 });
+    });
+    std::thread::sleep(Duration::from_millis(300)); // worker mid-sleep
+
+    // First signal: graceful drain begins; the process must still be
+    // alive, waiting on the in-flight sleep.
+    send_signal(pid, "TERM");
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(child.try_wait().expect("try_wait").is_none(), "drain must still be in progress");
+
+    // Second signal: immediate forced exit with the distinct code.
+    let t0 = Instant::now();
+    send_signal(pid, "TERM");
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5), "forced exit must be fast");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        status.code(),
+        Some(FORCED_EXIT_CODE),
+        "a forced exit reports code {FORCED_EXIT_CODE}, got {status:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "second signal must not wait for the 20s sleep (took {:?})",
+        t0.elapsed()
+    );
+    holder.join().expect("holder thread");
+}
+
+#[test]
+fn single_sigterm_still_drains_cleanly() {
+    let (mut child, addr) = spawn_server(&[]);
+    let pid = child.id();
+
+    // A short in-flight request: the drain waits for it, then exits 0.
+    let mut c = Client::connect(&addr).expect("connect");
+    let holder = std::thread::spawn(move || c.request(&Request::Sleep { ms: 400 }));
+    std::thread::sleep(Duration::from_millis(150));
+
+    send_signal(pid, "TERM");
+    let t0 = Instant::now();
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "drain must finish");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a clean drain exits 0, got {status:?}");
+    // The in-flight request was answered before exit.
+    let resp = holder.join().expect("holder").expect("drained response");
+    assert_eq!(resp, revel_serve::protocol::Response::Slept { ms: 400 });
+}

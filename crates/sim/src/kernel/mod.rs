@@ -94,6 +94,11 @@ impl NextEvent for Machine {
                 next = Some(next.map_or(c, |n| n.min(c)));
             }
         }
+        // A pending injected fault is a component clock: the skip loop must
+        // wake at the injection cycle so the event applies exactly there.
+        if let Some(c) = self.faults.next_cycle(after) {
+            next = Some(next.map_or(c, |n| n.min(c)));
+        }
         next
     }
 }
@@ -178,7 +183,11 @@ impl Machine {
         for lane in &mut self.lanes {
             lane.reset_cycle_flags();
         }
-        let mut progress = self.control_step(now, program);
+        // Faults apply before any other phase so the rest of the cycle sees
+        // the degraded state (a region killed at cycle C must not fire at
+        // cycle C). Applying one counts as progress.
+        let mut progress = self.apply_faults(now);
+        progress |= self.control_step(now, program);
         progress |= self.issue_commands(now, program, schedules);
         for lane in &mut self.lanes {
             for p in &mut lane.in_ports {

@@ -1,6 +1,7 @@
 //! One REVEL vector lane: ports, active streams, region firing, and the
 //! triggered-instruction temporal executor.
 
+use crate::fault::FaultKind;
 use crate::kernel::NextEvent;
 use crate::memory::Scratchpad;
 use crate::port::{InPort, OutPort};
@@ -199,6 +200,12 @@ pub(crate) struct RegionState {
     /// Matured systolic results waiting for delivery: (ready, outputs).
     inflight: VecDeque<(u64, Vec<(OutPortId, VecVal)>)>,
     temporal_shape: Option<TemporalShape>,
+    /// Injected dead-PE fault: the pipeline never fires again (matured
+    /// in-flight results still deliver).
+    dead: bool,
+    /// Injected transient stall: the region cannot fire before this cycle
+    /// (0 = not stalled).
+    stalled_until: u64,
 }
 
 impl RegionState {
@@ -335,6 +342,8 @@ impl Lane {
                 next_fire: 0,
                 inflight: VecDeque::new(),
                 temporal_shape,
+                dead: false,
+                stalled_until: 0,
             });
         }
         // Reset ports. Input ports bound to a region run at that region's
@@ -396,6 +405,12 @@ impl Lane {
 
     fn region_ready(&self, r: usize, now: u64) -> ReadyState {
         let rs = &self.regions[r];
+        // `dead` is constant state and `stalled_until` is a pure timer
+        // enumerated by `RegionState::next_event`, so this check preserves
+        // the kernel's quiescence/skip invariant.
+        if rs.dead || now < rs.stalled_until {
+            return ReadyState::Blocked;
+        }
         if now < rs.next_fire || rs.inflight.len() >= 8 {
             return ReadyState::Blocked;
         }
@@ -596,14 +611,61 @@ impl Lane {
         });
         self.progressed |= retired;
     }
+
+    /// Applies one injected fault against live lane state. Returns `true`
+    /// iff state was mutated (a miss — empty port, already-dead region —
+    /// is recorded by the caller but changes nothing).
+    pub(crate) fn apply_fault(&mut self, kind: FaultKind, now: u64) -> bool {
+        match kind {
+            FaultKind::DeadPe { region } => {
+                if self.regions.is_empty() {
+                    return false;
+                }
+                let r = region as usize % self.regions.len();
+                if self.regions[r].dead {
+                    return false;
+                }
+                self.regions[r].dead = true;
+                true
+            }
+            FaultKind::StallPe { region, cycles } => {
+                if self.regions.is_empty() {
+                    return false;
+                }
+                let r = region as usize % self.regions.len();
+                let until = now + cycles as u64;
+                // A stall on a dead region (or one already stalled past
+                // `until`) changes no observable behaviour.
+                if self.regions[r].dead || self.regions[r].stalled_until >= until {
+                    return false;
+                }
+                self.regions[r].stalled_until = until;
+                true
+            }
+            FaultKind::DropPort { port } => {
+                let p = port as usize % self.in_ports.len();
+                self.in_ports[p].drop_front()
+            }
+            FaultKind::BitFlip { port, bit } => {
+                let p = port as usize % self.in_ports.len();
+                self.in_ports[p].corrupt_front(bit)
+            }
+        }
+    }
 }
 
 impl NextEvent for RegionState {
     fn next_event(&self, after: u64) -> Option<u64> {
-        // A region's only pure timers are its firing interval and the
-        // maturation of its oldest in-flight result (delivery is in-order,
-        // so later entries cannot act before the front).
-        let mut next = (self.next_fire > after).then_some(self.next_fire);
+        // A region's only pure timers are its firing interval, an injected
+        // transient stall, and the maturation of its oldest in-flight
+        // result (delivery is in-order, so later entries cannot act before
+        // the front). A dead region holds no fire timer: it never fires
+        // again, and folding `next_fire` forever would stall the horizon.
+        let mut next = (!self.dead && self.next_fire > after).then_some(self.next_fire);
+        if !self.dead && self.stalled_until > after {
+            let s = self.stalled_until;
+            next = Some(next.map_or(s, |n| n.min(s)));
+        }
         if let Some((ready, _)) = self.inflight.front() {
             if *ready > after {
                 next = Some(next.map_or(*ready, |n| n.min(*ready)));

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod kernel;
 mod lane;
 mod machine;
@@ -62,6 +63,10 @@ mod port;
 mod snapshot;
 mod stats;
 
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSnapshot, RunOutcome, FAULT_ALL,
+    FAULT_BIT_FLIP, FAULT_DEAD_PE, FAULT_DROP_PORT, FAULT_STALL_PE,
+};
 pub use kernel::NextEvent;
 pub use machine::{
     force_reference_stepper, schedule_cache_stats, Machine, ScheduleCacheStats, SimError,

@@ -3,12 +3,13 @@
 //! and report assembly). The cycle-by-cycle pipeline itself lives in
 //! [`crate::kernel`].
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::kernel::ControlCore;
 use crate::lane::Lane;
 use crate::memory::Scratchpad;
 use crate::snapshot::{DeadlockSnapshot, LaneSnapshot};
 use crate::stats::{CycleBreakdown, RunReport};
-use revel_fabric::{EventCounts, Mesh, RevelConfig};
+use revel_fabric::{EventCounts, FabricMask, Mesh, RevelConfig};
 use revel_isa::LaneId;
 use revel_prog::{ProgramError, RevelProgram};
 use revel_scheduler::{RegionSchedule, ScheduleError, SpatialScheduler};
@@ -55,6 +56,16 @@ pub struct SimOptions {
     /// via the event horizon. The reference stepper is the correctness
     /// oracle for the fast loop; reports must be observably identical.
     pub reference_stepper: bool,
+    /// Deterministic fault injection: `Some` expands the plan into timed
+    /// events at run start and attaches a
+    /// [`FaultSnapshot`](crate::FaultSnapshot) to the report. Faulted runs
+    /// must never be cached by result memoizers (same rule as
+    /// deadline-expired runs).
+    pub fault_plan: Option<FaultPlan>,
+    /// Degraded-fabric mode: dead PEs/links are masked out of the spatial
+    /// schedule (via `reschedule_degraded`), modelling graceful
+    /// degradation. The mask participates in the schedule-cache key.
+    pub fabric_mask: FabricMask,
 }
 
 impl Default for SimOptions {
@@ -65,6 +76,8 @@ impl Default for SimOptions {
             wall_deadline: None,
             verify: true,
             reference_stepper: FORCE_REFERENCE_STEPPER.load(Ordering::Relaxed),
+            fault_plan: None,
+            fabric_mask: FabricMask::HEALTHY,
         }
     }
 }
@@ -218,6 +231,7 @@ pub struct Machine {
     pub(crate) opts: SimOptions,
     pub(crate) control: ControlCore,
     pub(crate) control_events: EventCounts,
+    pub(crate) faults: FaultState,
 }
 
 impl Machine {
@@ -230,6 +244,7 @@ impl Machine {
             opts,
             control: ControlCore::default(),
             control_events: EventCounts::default(),
+            faults: FaultState::default(),
             cfg,
         }
     }
@@ -305,6 +320,7 @@ impl Machine {
             lane.reconfig_until = 0;
         }
         self.control_events = EventCounts::default();
+        self.reset_faults();
 
         // Parse the debug switch once per run: `REVEL_SIM_DEBUG=0` (or
         // empty/false/off/no) means *disabled* — merely being set must not
@@ -341,6 +357,7 @@ impl Machine {
             timed_out: exec.timed_out,
             deadline_expired: exec.deadline_expired,
             deadlock,
+            fault: self.faults.snapshot(),
             stepper: exec.stats,
         })
     }
@@ -353,7 +370,10 @@ impl Machine {
     ) -> Result<Arc<Vec<Vec<RegionSchedule>>>, SimError> {
         // `Debug` renderings are full structural dumps for these types, so
         // the key distinguishes any difference that can affect scheduling.
-        let key = format!("{}\0{:?}\0{:?}", program.name, self.cfg.lane, program.configs);
+        // The fabric mask is part of the key: a degraded fabric compiles a
+        // repaired placement that must never be served to a healthy run.
+        let mask = self.opts.fabric_mask;
+        let key = format!("{}\0{:?}\0{:?}\0{mask}", program.name, self.cfg.lane, program.configs);
         let cache = SCHEDULE_CACHE.get_or_init(Default::default);
         if let Some(hit) = cache.lock().expect("schedule cache poisoned").get(&key) {
             SCHEDULE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -371,7 +391,7 @@ impl Machine {
             .with_sa_iterations(2000);
         let mut schedules: Vec<Vec<RegionSchedule>> = Vec::new();
         for regions in &program.configs {
-            schedules.push(scheduler.schedule(regions)?.regions);
+            schedules.push(scheduler.reschedule_degraded(regions, mask)?.regions);
         }
         let arc = Arc::new(schedules);
         match cache.lock().expect("schedule cache poisoned").entry(key) {

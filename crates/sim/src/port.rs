@@ -177,6 +177,33 @@ impl InPort {
         self.fifo.is_empty() && self.staging.is_empty()
     }
 
+    /// Drops the vector at the FIFO head (fault injection: a lost link
+    /// beat). Any partial reuse progress on the head is discarded with it.
+    /// Returns `true` iff a vector was actually dropped.
+    pub fn drop_front(&mut self) -> bool {
+        if self.fifo.pop_front().is_some() {
+            self.head_uses_left = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inverts bit `bit % 64` of the first valid lane buffered at the FIFO
+    /// head (fault injection: a corrupted stream value). Returns `true` iff
+    /// a lane was flipped.
+    pub fn corrupt_front(&mut self, bit: u8) -> bool {
+        let Some(head) = self.fifo.front() else {
+            return false;
+        };
+        let Some((lane, v)) = head.iter_valid().next() else {
+            return false;
+        };
+        let flipped = f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64)));
+        self.fifo.front_mut().expect("head exists").set_raw(lane, flipped);
+        true
+    }
+
     /// Consumes one presentation of the head value, honouring the reuse
     /// FSM: the head is popped only after its programmed number of uses.
     ///

@@ -1,6 +1,7 @@
 //! Cycle-level statistics: the bottleneck taxonomy of Fig. 23 plus event
 //! counters for the power model.
 
+use crate::fault::{FaultSnapshot, RunOutcome};
 use crate::snapshot::DeadlockSnapshot;
 use revel_fabric::EventCounts;
 use std::fmt::Write as _;
@@ -173,6 +174,11 @@ pub struct RunReport {
     pub deadline_expired: bool,
     /// Machine state at timeout (`Some` iff [`RunReport::timed_out`]).
     pub deadlock: Option<DeadlockSnapshot>,
+    /// Fault-injection account (`Some` iff the run carried a
+    /// [`FaultPlan`](crate::FaultPlan), even when every event missed).
+    /// Part of the observable report: both steppers must inject and record
+    /// identically.
+    pub fault: Option<FaultSnapshot>,
     /// Host-side loop accounting (not architecturally observable).
     pub stepper: StepperStats,
 }
@@ -194,6 +200,8 @@ pub struct ObservableReport<'a> {
     pub timed_out: bool,
     /// Machine state at timeout, if any.
     pub deadlock: Option<&'a DeadlockSnapshot>,
+    /// Fault-injection account, if the run carried a plan.
+    pub fault: Option<&'a FaultSnapshot>,
 }
 
 impl RunReport {
@@ -225,7 +233,28 @@ impl RunReport {
             commands_issued: self.commands_issued,
             timed_out: self.timed_out,
             deadlock: self.deadlock.as_ref(),
+            fault: self.fault.as_ref(),
         }
+    }
+
+    /// How the run ended, folding fault detection into the completion
+    /// status. [`RunOutcome::Faulted`] wins over [`RunOutcome::TimedOut`]:
+    /// an applied fault makes the run untrusted regardless of whether it
+    /// finished (and a fault that deadlocks the machine *is* the outcome
+    /// of interest).
+    pub fn outcome(&self) -> RunOutcome {
+        match &self.fault {
+            Some(s) if s.any_applied() => RunOutcome::Faulted { snapshot: s.clone() },
+            _ if self.timed_out => RunOutcome::TimedOut,
+            _ => RunOutcome::Completed,
+        }
+    }
+
+    /// True iff an injected fault actually mutated machine state. Result
+    /// memoizers must refuse to cache such runs (same rule as
+    /// [`RunReport::deadline_expired`]).
+    pub fn faulted(&self) -> bool {
+        self.fault.as_ref().is_some_and(|s| s.any_applied())
     }
 
     /// Canonical text rendering of the observable state, suitable for
@@ -250,6 +279,12 @@ impl RunReport {
             Some(d) => {
                 let _ = write!(s, "{d}");
             }
+        }
+        // Emitted only for runs that carried a fault plan, so clean runs'
+        // canonical text is byte-identical to what it was before fault
+        // injection existed.
+        if let Some(fault) = &self.fault {
+            let _ = write!(s, "{fault}");
         }
         s
     }
@@ -336,6 +371,7 @@ mod tests {
             timed_out: false,
             deadline_expired: false,
             deadlock: None,
+            fault: None,
             stepper: StepperStats { skipped_cycles: skipped, horizon_jumps: skipped.min(1) },
         }
     }

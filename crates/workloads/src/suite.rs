@@ -169,8 +169,17 @@ pub fn run_built_with(
     let mut machine = Machine::new(cfg.machine_config(), opts);
     apply_init(&mut machine, &built.init);
     let report = machine.run(&built.program)?;
-    let verified =
-        if report.timed_out { Err("timed out".to_string()) } else { (built.check)(&machine) };
+    // An applied fault makes the run untrusted even if the numeric check
+    // would happen to pass (e.g. a low-mantissa bit flip inside tolerance).
+    // Checked before the timeout: a dead PE usually *causes* the budget
+    // exhaustion, and the fault is the root-cause diagnostic.
+    let verified = if report.faulted() {
+        Err("fault injected".to_string())
+    } else if report.timed_out {
+        Err("timed out".to_string())
+    } else {
+        (built.check)(&machine)
+    };
     Ok(WorkloadRun { cycles: report.cycles, report, verified })
 }
 
@@ -257,6 +266,7 @@ mod tests {
             timed_out: false,
             deadline_expired: false,
             deadlock: None,
+            fault: None,
             stepper: Default::default(),
         };
         let run = WorkloadRun { cycles: 100, report, verified: Ok(()) };
