@@ -52,6 +52,9 @@ fn main() {
         .iter()
         .filter_map(|s| match s {
             ControlStep::Command(vc) => Some(vc.clone()),
+            // A dynamic step disassembles as its template (the issue-time
+            // binds patch fields the listing cannot know statically).
+            ControlStep::Dyn(ds) => Some(ds.template.clone()),
             ControlStep::Host(_) => None,
         })
         .collect();

@@ -36,6 +36,11 @@ fn usage() -> ! {
         "usage: revel_lint [--suite small|large] [--arch revel|systolic|dataflow|all] \
          [--bench NAME] [--jobs N] [--program-only] [--explain CODE]"
     );
+    eprintln!();
+    eprintln!("codes:");
+    for c in Code::ALL {
+        eprintln!("  {c} [{}] {}", c.severity(), c.summary());
+    }
     std::process::exit(2);
 }
 
@@ -148,15 +153,22 @@ fn main() {
 }
 
 /// Prints the long-form explanation for one diagnostic code and exits.
+/// Unknown codes exit non-zero and enumerate every known code, so the
+/// message stays correct as the code list grows.
 fn explain(code: &str) -> ! {
-    for c in Code::ALL {
-        if c.as_str().eq_ignore_ascii_case(code) {
+    match Code::parse(code) {
+        Some(c) => {
             println!("{c} ({}): {}", c.severity(), c.summary());
             println!();
             println!("{}", c.explain());
             std::process::exit(0);
         }
+        None => {
+            let known: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+            eprintln!("unknown code '{code}'");
+            eprintln!("known codes: {}", known.join(", "));
+            eprintln!("run revel_lint --help for one-line summaries");
+            std::process::exit(2);
+        }
     }
-    eprintln!("unknown code '{code}' (known: V001..V014)");
-    std::process::exit(2);
 }

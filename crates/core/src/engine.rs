@@ -4,7 +4,8 @@
 //! in which many cells repeat across figures: Fig. 8/19/23/25/Tab. VII all
 //! consume the same large-suite comparisons, and Fig. 20–24 re-simulate
 //! overlapping configurations. Each cell is also embarrassingly parallel —
-//! a cycle-level simulation touching only its own [`Machine`] — so this
+//! a cycle-level simulation touching only its own
+//! [`Machine`](crate::sim::Machine) — so this
 //! module provides the two mechanisms the harness, test suites, and the
 //! `revel-serve` request handlers share:
 //!
@@ -156,6 +157,11 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
     /// Number of completed entries (excludes in-flight claims).
     fn ready_len(&self) -> usize {
         self.map.values().filter(|e| e.value.is_some()).count()
+    }
+
+    /// Number of completed entries whose value satisfies `pred`.
+    fn ready_matching(&self, pred: impl Fn(&V) -> bool) -> usize {
+        self.map.values().filter(|e| e.value.as_ref().is_some_and(&pred)).count()
     }
 }
 
@@ -523,6 +529,11 @@ pub struct CacheStats {
     /// footer (clean-run output stays byte-identical); the degradation
     /// sweep prints it directly.
     pub fault_bypasses: u64,
+    /// Of [`CacheStats::run_entries`], entries whose program carries an
+    /// obliviousness certificate (`revel_verify::certify`): their timing
+    /// is provably data-independent, so a batched executor may reuse the
+    /// cached cycle counts across datasets of the same shape.
+    pub oblivious_entries: usize,
 }
 
 impl CacheStats {
@@ -574,16 +585,21 @@ impl std::fmt::Display for CacheStats {
 /// Snapshot of the engine's cache counters.
 pub fn stats() -> CacheStats {
     let e = engine();
+    let (run_entries, oblivious_entries) = {
+        let runs = e.runs.lock().expect("run cache lock");
+        (runs.ready_len(), runs.ready_matching(|r| r.oblivious))
+    };
     CacheStats {
         hits: e.hits.load(Ordering::Relaxed),
         misses: e.misses.load(Ordering::Relaxed),
         evictions: e.evictions.load(Ordering::Relaxed),
         capacity: cache_capacity(),
-        run_entries: e.runs.lock().expect("run cache lock").ready_len(),
+        run_entries,
         lint_entries: e.lints.lock().expect("lint cache lock").ready_len(),
         sim_cycles: e.sim_cycles.load(Ordering::Relaxed),
         skipped_cycles: e.skipped_cycles.load(Ordering::Relaxed),
         fault_bypasses: e.fault_bypasses.load(Ordering::Relaxed),
+        oblivious_entries,
     }
 }
 
@@ -758,6 +774,20 @@ mod tests {
     }
 
     #[test]
+    fn cached_runs_record_the_oblivious_certificate() {
+        let b = Bench::Fft { n: 64 };
+        let cfg = BuildCfg::revel(1);
+        let run = run_cached(b, &cfg, false).expect("runs");
+        assert!(run.oblivious, "suite kernels are statically data-oblivious");
+        let s = stats();
+        assert!(s.oblivious_entries >= 1, "certified entry must be counted: {s:?}");
+        assert!(
+            s.oblivious_entries <= s.run_entries,
+            "certified entries are a subset of cached runs: {s:?}"
+        );
+    }
+
+    #[test]
     fn distinct_configs_do_not_collide() {
         let b = Bench::Solver { n: 12 };
         let revel = run_cached(b, &BuildCfg::revel(1), false).expect("runs");
@@ -838,6 +868,7 @@ mod tests {
             sim_cycles: 0,
             skipped_cycles: 0,
             fault_bypasses: 0,
+            oblivious_entries: 0,
         };
         assert_eq!(zero.hit_rate(), 0.0);
         let mixed = CacheStats { hits: 3, misses: 1, ..zero };

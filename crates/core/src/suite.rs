@@ -122,14 +122,22 @@ impl Bench {
 
     /// The workload object (batch-1 semantics).
     pub fn workload(&self) -> Box<dyn Workload> {
+        self.workload_seeded(1)
+    }
+
+    /// The workload object with a caller-chosen dataset seed. The seed
+    /// changes only the input values, never the program structure: two
+    /// seeds of the same cell must produce identical command streams, and
+    /// — for obliviousness-certified programs — identical timing too.
+    pub fn workload_seeded(&self, seed: u64) -> Box<dyn Workload> {
         match *self {
-            Bench::Solver { n } => Box::new(Solver::new(n, 1)),
-            Bench::Cholesky { n } => Box::new(Cholesky::parallel(n, 1)),
-            Bench::Qr { n } => Box::new(Qr::new(n, 1)),
-            Bench::Svd { n } => Box::new(Svd::new(n, SVD_SWEEPS, 1)),
-            Bench::Fft { n } => Box::new(Fft::new(n, 1)),
-            Bench::Gemm { m, k, p } => Box::new(Gemm::new(m, k, p, 1)),
-            Bench::Fir { taps, n } => Box::new(CentroFir::new(taps, n, 1)),
+            Bench::Solver { n } => Box::new(Solver::new(n, seed)),
+            Bench::Cholesky { n } => Box::new(Cholesky::parallel(n, seed)),
+            Bench::Qr { n } => Box::new(Qr::new(n, seed)),
+            Bench::Svd { n } => Box::new(Svd::new(n, SVD_SWEEPS, seed)),
+            Bench::Fft { n } => Box::new(Fft::new(n, seed)),
+            Bench::Gemm { m, k, p } => Box::new(Gemm::new(m, k, p, seed)),
+            Bench::Fir { taps, n } => Box::new(CentroFir::new(taps, n, seed)),
         }
     }
 

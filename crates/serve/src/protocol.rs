@@ -101,6 +101,9 @@ pub struct EngineStatsWire {
     pub skipped_cycles: u64,
     /// Fault-injected / degraded runs that bypassed the cache entirely.
     pub fault_bypasses: u64,
+    /// Cached runs carrying an obliviousness certificate (timing provably
+    /// data-independent, reusable across same-shaped datasets).
+    pub oblivious_entries: u64,
 }
 
 /// Schedule-cache counters on the wire (mirrors
@@ -437,6 +440,7 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                     ("sim_cycles", engine.sim_cycles),
                     ("skipped_cycles", engine.skipped_cycles),
                     ("fault_bypasses", engine.fault_bypasses),
+                    ("oblivious_entries", engine.oblivious_entries),
                 ]),
             ));
             fields.push((
@@ -560,6 +564,7 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     "sim_cycles",
                     "skipped_cycles",
                     "fault_bypasses",
+                    "oblivious_entries",
                 ],
             )?;
             let s = wire_counters(&v, "schedule_cache_stats", &["hits", "misses", "entries"])?;
@@ -579,6 +584,7 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     sim_cycles: e[6],
                     skipped_cycles: e[7],
                     fault_bypasses: e[8],
+                    oblivious_entries: e[9],
                 },
                 schedule: ScheduleStatsWire { hits: s[0], misses: s[1], entries: s[2] },
                 server: ServerStatsWire {

@@ -491,6 +491,7 @@ fn stats_response(shared: &Shared) -> Response {
             sim_cycles: e.sim_cycles,
             skipped_cycles: e.skipped_cycles,
             fault_bypasses: e.fault_bypasses,
+            oblivious_entries: e.oblivious_entries as u64,
         },
         schedule: ScheduleStatsWire { hits: s.hits, misses: s.misses, entries: s.entries as u64 },
         server: ServerStatsWire {

@@ -71,6 +71,7 @@ fn every_response() -> Vec<Response> {
                 sim_cycles: 123_456_789,
                 skipped_cycles: 100_000_000,
                 fault_bypasses: 6,
+                oblivious_entries: 2,
             },
             schedule: ScheduleStatsWire { hits: 40, misses: 5, entries: 5 },
             server: ServerStatsWire {

@@ -77,6 +77,9 @@ pub use port::{InPort, OutPort};
 // The program representation lives in `revel-prog` (so the static verifier
 // can analyze programs without depending on the simulator); re-exported here
 // for backward compatibility.
-pub use revel_prog::{ControlStep, HostMem, HostOp, ProgramError, RevelProgram};
+pub use revel_prog::{
+    ControlStep, DynBind, DynField, DynSrc, DynStep, HostMem, HostOp, HostWrite, ProgramError,
+    RevelProgram,
+};
 pub use snapshot::{DeadlockSnapshot, LaneSnapshot, RegionSnapshot};
 pub use stats::{CycleBreakdown, CycleClass, ObservableReport, RunReport, StepperStats};

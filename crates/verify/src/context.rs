@@ -96,8 +96,14 @@ impl<'a> Context<'a> {
             .collect();
 
         for (index, step) in program.control.iter().enumerate() {
-            let ControlStep::Command(vc) = step else {
-                continue;
+            // A dynamic step is analyzed as its template: a sound
+            // may-approximation for the structural lints (the issue-time
+            // binds can suppress or retarget it, which the obliviousness
+            // pass reasons about separately).
+            let vc = match step {
+                ControlStep::Command(vc) => vc,
+                ControlStep::Dyn(ds) => &ds.template,
+                ControlStep::Host(_) => continue,
             };
             for view in lanes.iter_mut() {
                 if !vc.lanes.contains(LaneId(view.lane)) {
@@ -176,7 +182,7 @@ fn compute_traffic(lanes: &[LaneView], num_lanes: usize) -> Vec<Vec<PortTraffic>
 /// the scratchpad hazard lints for overlap tests.
 #[derive(Debug, Clone)]
 pub enum AddrSet {
-    /// Every distinct address (patterns up to [`EXACT_ADDR_LIMIT`] elems).
+    /// Every distinct address (patterns up to `EXACT_ADDR_LIMIT` elems).
     Exact(BTreeSet<i64>),
     /// Conservative `[lo, hi]` bounding range.
     Range(i64, i64),

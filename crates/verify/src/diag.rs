@@ -22,185 +22,193 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable diagnostic codes. Codes are append-only: a released code never
-/// changes meaning, so tests and suppression lists can match on them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[allow(missing_docs)] // each code is documented by summary()/explain()
-pub enum Code {
-    V001,
-    V002,
-    V003,
-    V004,
-    V005,
-    V006,
-    V007,
-    V008,
-    V009,
-    V010,
-    V011,
-    V012,
-    V013,
-    V014,
+/// Counts the identifiers it is given (helper for [`codes!`]).
+macro_rules! count_codes {
+    () => (0usize);
+    ($head:ident $($tail:ident)*) => (1usize + count_codes!($($tail)*));
 }
 
-impl Code {
-    /// Every code, in order.
-    pub const ALL: [Code; 14] = [
-        Code::V001,
-        Code::V002,
-        Code::V003,
-        Code::V004,
-        Code::V005,
-        Code::V006,
-        Code::V007,
-        Code::V008,
-        Code::V009,
-        Code::V010,
-        Code::V011,
-        Code::V012,
-        Code::V013,
-        Code::V014,
-    ];
-
-    /// The stable textual form (`"V001"`).
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            Code::V001 => "V001",
-            Code::V002 => "V002",
-            Code::V003 => "V003",
-            Code::V004 => "V004",
-            Code::V005 => "V005",
-            Code::V006 => "V006",
-            Code::V007 => "V007",
-            Code::V008 => "V008",
-            Code::V009 => "V009",
-            Code::V010 => "V010",
-            Code::V011 => "V011",
-            Code::V012 => "V012",
-            Code::V013 => "V013",
-            Code::V014 => "V014",
+/// Declares the diagnostic-code registry in one place: the `Code` enum,
+/// [`Code::ALL`], [`Code::as_str`], [`Code::parse`], [`Code::severity`],
+/// [`Code::summary`] and [`Code::explain`] are all generated from a single
+/// `code => severity, summary, explain;` listing, so a new code cannot be
+/// half-registered (the old hand-maintained triple listing let `ALL` and
+/// `as_str` drift from the enum).
+macro_rules! codes {
+    ($( $(#[$meta:meta])* $name:ident => $severity:ident, $summary:expr, $explain:expr; )+) => {
+        /// Stable diagnostic codes. Codes are append-only: a released code
+        /// never changes meaning, so tests and suppression lists can match
+        /// on them.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[allow(missing_docs)] // each code is documented by summary()/explain()
+        pub enum Code {
+            $( $(#[$meta])* $name, )+
         }
-    }
 
-    /// The severity this code always carries.
-    pub fn severity(&self) -> Severity {
-        match self {
-            Code::V001
-            | Code::V004
-            | Code::V005
-            | Code::V006
-            | Code::V009
-            | Code::V010
-            | Code::V012
-            | Code::V013
-            | Code::V014 => Severity::Error,
-            Code::V002 | Code::V003 | Code::V007 | Code::V008 | Code::V011 => Severity::Warning,
-        }
-    }
+        impl Code {
+            /// Every code, in order.
+            pub const ALL: [Code; count_codes!($($name)+)] = [$(Code::$name,)+];
 
-    /// One-line summary of the invariant the code checks.
-    pub fn summary(&self) -> &'static str {
-        match self {
-            Code::V001 => "region input port is never fed while its configuration is active",
-            Code::V002 => "stream feeds an input port no active region reads",
-            Code::V003 => "region output port is never drained",
-            Code::V004 => "operator joins values of different accumulation rates",
-            Code::V005 => "stream address pattern leaves the scratchpad",
-            Code::V006 => "two store streams write overlapping addresses without a barrier",
-            Code::V007 => "store may overwrite addresses an earlier load still reads",
-            Code::V008 => "dataflow-graph node does not reach any output",
-            Code::V009 => "SetAccumLen names a region the active configuration lacks",
-            Code::V010 => "data command issued before any Configure",
-            Code::V011 => "systolic routes share a mesh link after negotiation",
-            Code::V012 => "output port narrower than the region vector written to it",
-            Code::V013 => "dataflow-graph node references a later or missing node",
-            Code::V014 => "configuration does not map onto the lane fabric",
-        }
-    }
+            /// The stable textual form (`"V001"`).
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $( Code::$name => stringify!($name), )+
+                }
+            }
 
-    /// A longer human explanation: why the invariant matters and what the
-    /// dynamic failure mode would be.
-    pub fn explain(&self) -> &'static str {
-        match self {
-            Code::V001 => {
-                "A region fires only when every bound input port presents data. \
-                 An input port with no Load/Const/XFER feeding it while the \
-                 configuration is active starves the region forever: the \
-                 simulation hangs until the cycle limit."
+            /// Parses the stable textual form back into a code
+            /// (case-insensitive). `None` for unknown codes.
+            pub fn parse(s: &str) -> Option<Code> {
+                Code::ALL.into_iter().find(|c| c.as_str().eq_ignore_ascii_case(s))
             }
-            Code::V002 => {
-                "Data delivered to a port no region of the active configuration \
-                 reads sits in the FIFO until the next reconfiguration, where it \
-                 becomes stale input for an unrelated region."
+
+            /// The severity this code always carries.
+            pub fn severity(&self) -> Severity {
+                match self {
+                    $( Code::$name => Severity::$severity, )+
+                }
             }
-            Code::V003 => {
-                "An output port with no Store/XFER draining it fills its FIFO and \
-                 back-pressures the region, which then deadlocks every region \
-                 sharing its input streams."
+
+            /// One-line summary of the invariant the code checks.
+            pub fn summary(&self) -> &'static str {
+                match self {
+                    $( Code::$name => $summary, )+
+                }
             }
-            Code::V004 => {
-                "An accumulator emits one value per reduction window, so its \
-                 consumers run at a lower firing rate than the raw input stream. \
-                 An operator joining operands of different accumulation depths \
-                 would need one operand to stall for the other's window, which \
-                 the statically-timed systolic fabric cannot do."
-            }
-            Code::V005 => {
-                "A load/store whose affine pattern dereferences an address \
-                 outside the private or shared scratchpad reads garbage or \
-                 faults; the bound is checked against the lane-specialized \
-                 pattern (lane address scaling included)."
-            }
-            Code::V006 => {
-                "Store streams in the same barrier epoch drain concurrently; \
-                 if their address sets overlap, the final memory contents depend \
-                 on drain interleaving. Separate them with BarrierScratch/Wait."
-            }
-            Code::V007 => {
-                "A store issued after a load that reads overlapping addresses \
-                 can overwrite them before the load's pattern walker gets there \
-                 (write-after-read). The hazard is suppressed when the store's \
-                 data provably flows from that load through the fabric, because \
-                 dataflow ordering then serializes the accesses."
-            }
-            Code::V008 => {
-                "A node whose value never reaches an Output wastes a PE (and, \
-                 for Input nodes, silently consumes port bandwidth) without \
-                 affecting results — almost always a leftover from editing the \
-                 dataflow graph."
-            }
-            Code::V009 => {
-                "SetAccumLen with a region index the active configuration does \
-                 not define is silently ignored by the hardware; the intended \
-                 accumulator keeps its old length and sums the wrong window."
-            }
-            Code::V010 => {
-                "Loads, stores, consts, XFERs and SetAccumLen target ports and \
-                 regions of the *active* configuration; before the first \
-                 Configure there is none, so the command's effect is undefined."
-            }
-            Code::V011 => {
-                "Systolic dependences need dedicated mesh links to keep their \
-                 static timing; links still shared after negotiated routing \
-                 serialize transfers and break the II=1 pipeline guarantee."
-            }
-            Code::V012 => {
-                "A region writes vectors of its unroll width; an output port \
-                 whose hardware width is smaller cannot carry them at rate, so \
-                 the model's bandwidth accounting (and real hardware) breaks."
-            }
-            Code::V013 => {
-                "Dataflow-graph evaluation is one forward pass in node order; an \
-                 argument referencing a later or non-existent node would read \
-                 uninitialized state."
-            }
-            Code::V014 => {
-                "The configuration needs more PEs, temporal instruction slots, \
-                 or routable links than the lane provides; Machine::run would \
-                 reject it at spatial-compile time."
+
+            /// A longer human explanation: why the invariant matters and
+            /// what the dynamic failure mode would be.
+            pub fn explain(&self) -> &'static str {
+                match self {
+                    $( Code::$name => $explain, )+
+                }
             }
         }
-    }
+    };
+}
+
+codes! {
+    V001 => Error,
+        "region input port is never fed while its configuration is active",
+        "A region fires only when every bound input port presents data. \
+         An input port with no Load/Const/XFER feeding it while the \
+         configuration is active starves the region forever: the \
+         simulation hangs until the cycle limit.";
+    V002 => Warning,
+        "stream feeds an input port no active region reads",
+        "Data delivered to a port no region of the active configuration \
+         reads sits in the FIFO until the next reconfiguration, where it \
+         becomes stale input for an unrelated region.";
+    V003 => Warning,
+        "region output port is never drained",
+        "An output port with no Store/XFER draining it fills its FIFO and \
+         back-pressures the region, which then deadlocks every region \
+         sharing its input streams.";
+    V004 => Error,
+        "operator joins values of different accumulation rates",
+        "An accumulator emits one value per reduction window, so its \
+         consumers run at a lower firing rate than the raw input stream. \
+         An operator joining operands of different accumulation depths \
+         would need one operand to stall for the other's window, which \
+         the statically-timed systolic fabric cannot do.";
+    V005 => Error,
+        "stream address pattern leaves the scratchpad",
+        "A load/store whose affine pattern dereferences an address \
+         outside the private or shared scratchpad reads garbage or \
+         faults; the bound is checked against the lane-specialized \
+         pattern (lane address scaling included).";
+    V006 => Error,
+        "two store streams write overlapping addresses without a barrier",
+        "Store streams in the same barrier epoch drain concurrently; \
+         if their address sets overlap, the final memory contents depend \
+         on drain interleaving. Separate them with BarrierScratch/Wait.";
+    V007 => Warning,
+        "store may overwrite addresses an earlier load still reads",
+        "A store issued after a load that reads overlapping addresses \
+         can overwrite them before the load's pattern walker gets there \
+         (write-after-read). The hazard is suppressed when the store's \
+         data provably flows from that load through the fabric, because \
+         dataflow ordering then serializes the accesses.";
+    V008 => Warning,
+        "dataflow-graph node does not reach any output",
+        "A node whose value never reaches an Output wastes a PE (and, \
+         for Input nodes, silently consumes port bandwidth) without \
+         affecting results — almost always a leftover from editing the \
+         dataflow graph.";
+    V009 => Error,
+        "SetAccumLen names a region the active configuration lacks",
+        "SetAccumLen with a region index the active configuration does \
+         not define is silently ignored by the hardware; the intended \
+         accumulator keeps its old length and sums the wrong window.";
+    V010 => Error,
+        "data command issued before any Configure",
+        "Loads, stores, consts, XFERs and SetAccumLen target ports and \
+         regions of the *active* configuration; before the first \
+         Configure there is none, so the command's effect is undefined.";
+    V011 => Warning,
+        "systolic routes share a mesh link after negotiation",
+        "Systolic dependences need dedicated mesh links to keep their \
+         static timing; links still shared after negotiated routing \
+         serialize transfers and break the II=1 pipeline guarantee.";
+    V012 => Error,
+        "output port narrower than the region vector written to it",
+        "A region writes vectors of its unroll width; an output port \
+         whose hardware width is smaller cannot carry them at rate, so \
+         the model's bandwidth accounting (and real hardware) breaks.";
+    V013 => Error,
+        "dataflow-graph node references a later or missing node",
+        "Dataflow-graph evaluation is one forward pass in node order; an \
+         argument referencing a later or non-existent node would read \
+         uninitialized state.";
+    V014 => Error,
+        "configuration does not map onto the lane fabric",
+        "The configuration needs more PEs, temporal instruction slots, \
+         or routable links than the lane provides; Machine::run would \
+         reject it at spatial-compile time.";
+    V015 => Warning,
+        "data-tainted value controls a stream length",
+        "Cycle counts on this machine are a function of stream trip \
+         counts. A stream length or XFER outer count patched at issue \
+         time from a dataset-derived scratchpad word makes timing depend \
+         on data values, voiding the obliviousness certificate: one \
+         timing trace can no longer stand in for every dataset of the \
+         same size, so run-cache timing reuse would silently serve wrong \
+         cycle counts. Compute dynamic lengths from problem sizes only \
+         (declared size-only host writes), or accept the warning and \
+         forgo trace reuse.";
+    V016 => Warning,
+        "data-tainted value sets an accumulator length",
+        "SetAccumLen changes how many values a region accumulates before \
+         emitting, which changes region firing counts and therefore \
+         cycle counts. An accumulator depth read from dataset-derived \
+         memory makes the reduction schedule — and the run's timing — a \
+         function of data values rather than problem sizes.";
+    V017 => Warning,
+        "data-tainted guard predicates a command",
+        "A guarded command issues or vanishes depending on a scratchpad \
+         word read at issue time. When that word derives from the \
+         dataset, command *ordering and count* become data-dependent: \
+         two runs over equal-sized inputs execute different command \
+         sequences and disagree on every downstream cycle. Guards \
+         driven by size-only values (loop trip flags computed from \
+         problem dimensions) are certified and carry no warning.";
+    V018 => Warning,
+        "data-tainted value forms a scratchpad address pattern",
+        "A stream start address or stride patched from dataset-derived \
+         memory makes the *addresses* touched depend on data values. \
+         Even when the element count is fixed, data-dependent addressing \
+         breaks obliviousness (bank conflicts, hazard ordering, and any \
+         future memory model with address-dependent latency) and defeats \
+         the static hazard lints, which reason about the template's \
+         static pattern.";
+    V019 => Warning,
+        "data-tainted value selects a fabric configuration",
+        "Configure chooses which region set — with its own initiation \
+         intervals, pipeline depths, and operator latencies — executes \
+         next. A configuration index read from dataset-derived memory \
+         routes the same-sized problem through differently-timed \
+         hardware depending on data values, the coarsest possible \
+         obliviousness violation.";
 }
 
 impl fmt::Display for Code {
@@ -326,10 +334,25 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
+        // Append-only registry: the count only ever grows, and the textual
+        // forms of released codes are pinned forever.
+        assert_eq!(Code::ALL.len(), 19);
         let strs: std::collections::HashSet<_> = Code::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), Code::ALL.len());
         assert_eq!(Code::V001.as_str(), "V001");
         assert_eq!(Code::V014.as_str(), "V014");
+        assert_eq!(Code::V019.as_str(), "V019");
+    }
+
+    #[test]
+    fn every_code_round_trips_through_parse() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            assert_eq!(Code::parse(&c.as_str().to_lowercase()), Some(c));
+        }
+        assert_eq!(Code::parse("V999"), None);
+        assert_eq!(Code::parse(""), None);
+        assert_eq!(Code::parse("bogus"), None);
     }
 
     #[test]
@@ -337,6 +360,15 @@ mod tests {
         for c in Code::ALL {
             assert!(!c.summary().is_empty());
             assert!(c.explain().len() > c.summary().len());
+        }
+    }
+
+    #[test]
+    fn obliviousness_codes_are_warnings() {
+        // V015–V019 must never gate Machine::run: a non-oblivious workload
+        // still simulates, it just loses the timing-reuse certificate.
+        for c in [Code::V015, Code::V016, Code::V017, Code::V018, Code::V019] {
+            assert_eq!(c.severity(), Severity::Warning, "{c} must stay a warning");
         }
     }
 

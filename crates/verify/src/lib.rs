@@ -21,6 +21,10 @@
 //!   mapping failures reported (`V011`, `V014`).
 //! * **Port-width legality** — region outputs no wider than the hardware
 //!   port (`V012`).
+//! * **Timing obliviousness** — no dataset-derived value flows into a
+//!   timing-relevant command field (stream lengths, strides, accumulator
+//!   depths, guards, configuration selection); clean programs earn an
+//!   [`ObliviousnessCert`] (`V015`–`V019`, warnings).
 //!
 //! Every finding is a [`Diagnostic`] with a stable [`Code`], a
 //! [`Severity`], a [`Location`] (config/region/node/command/lane), and a
@@ -49,6 +53,7 @@ mod conservation;
 mod context;
 mod diag;
 mod hygiene;
+mod oblivious;
 mod rates;
 mod sched;
 mod scratch;
@@ -59,6 +64,7 @@ pub use context::{
 };
 pub use diag::{has_errors, Code, Diagnostic, Location, Severity};
 pub use hygiene::{CommandStructure, DfgHygiene};
+pub use oblivious::{certify, Oblivious, ObliviousnessCert, Taint};
 pub use rates::{OutPortWidth, RateConsistency};
 pub use sched::ScheduleLegality;
 pub use scratch::{AddressBounds, ScratchHazards};
@@ -87,6 +93,7 @@ pub fn program_lints() -> Vec<Box<dyn Lint>> {
         Box::new(ScratchHazards),
         Box::new(DfgHygiene),
         Box::new(CommandStructure),
+        Box::new(Oblivious),
     ]
 }
 

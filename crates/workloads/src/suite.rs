@@ -106,6 +106,11 @@ pub struct WorkloadRun {
     pub report: RunReport,
     /// Verification result.
     pub verified: Result<(), String>,
+    /// True when the obliviousness certifier proved the program's timing
+    /// data-independent (`revel_verify::certify`): the cycle count is a
+    /// function of problem sizes alone and may be reused across datasets
+    /// of the same shape.
+    pub oblivious: bool,
 }
 
 impl WorkloadRun {
@@ -180,7 +185,8 @@ pub fn run_built_with(
     } else {
         (built.check)(&machine)
     };
-    Ok(WorkloadRun { cycles: report.cycles, report, verified })
+    let oblivious = revel_verify::certify(&built.program, &cfg.machine_config()).is_ok();
+    Ok(WorkloadRun { cycles: report.cycles, report, verified, oblivious })
 }
 
 /// Writes a kernel's initial data into the machine.
@@ -216,8 +222,10 @@ pub fn replicate_for_batch(built: &BuiltKernel, lanes: usize) -> BuiltKernel {
     let mut program = built.program.clone();
     let mask = revel_isa::LaneMask::all(lanes as u8);
     for step in &mut program.control {
-        if let revel_sim::ControlStep::Command(vc) = step {
-            vc.lanes = mask;
+        match step {
+            revel_sim::ControlStep::Command(vc) => vc.lanes = mask,
+            revel_sim::ControlStep::Dyn(ds) => ds.template.lanes = mask,
+            revel_sim::ControlStep::Host(_) => {}
         }
     }
     let mut init = Vec::new();
@@ -269,7 +277,7 @@ mod tests {
             fault: None,
             stepper: Default::default(),
         };
-        let run = WorkloadRun { cycles: 100, report, verified: Ok(()) };
+        let run = WorkloadRun { cycles: 100, report, verified: Ok(()), oblivious: true };
         assert!((run.flops_per_cycle(400) - 4.0).abs() < 1e-12);
     }
 

@@ -16,7 +16,7 @@ fn all_revel_kernel_programs_roundtrip() {
             .iter()
             .filter_map(|s| match s {
                 ControlStep::Command(vc) => Some(vc.clone()),
-                ControlStep::Host(_) => None,
+                ControlStep::Dyn(_) | ControlStep::Host(_) => None,
             })
             .collect();
         assert!(!commands.is_empty(), "{}", b.name());
