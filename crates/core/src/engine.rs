@@ -51,12 +51,14 @@
 use crate::suite::{Bench, Comparison};
 use revel_compiler::BuildCfg;
 use revel_fabric::FabricMask;
-use revel_sim::{FaultPlan, SimError, SimOptions};
-use revel_workloads::{run_workload_with, WorkloadRun};
+use revel_sim::{FaultPlan, SimError, SimOptions, TimingTrace};
+use revel_workloads::{
+    batch_replayable, record_timing, replay_trace_on, run_workload_with, WorkloadRun,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Cache key: one simulated configuration. `batch` distinguishes the
@@ -171,6 +173,12 @@ struct Engine {
     /// single-flight waiters.
     runs_done: Condvar,
     lints: Mutex<BoundedCache<(Bench, BuildCfg), Vec<revel_verify::Diagnostic>>>,
+    /// Timing traces recorded by [`run_batched_with`]'s timing walk, a
+    /// first-class artifact cached next to the run results under the same
+    /// key shape. Plain get/insert (no single-flight): a duplicated timing
+    /// walk is wasted work, not a correctness hazard, and batch requests
+    /// for one cell rarely race.
+    traces: Mutex<BoundedCache<RunKey, Arc<TimingTrace>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -184,6 +192,16 @@ struct Engine {
     // such runs must bypass the cache entirely; this counter is the proof
     // (asserted by the degradation sweep) that none of them touched it.
     fault_bypasses: AtomicU64,
+    // Deadline-expired waiters that gave up on another thread's in-flight
+    // run and simulated uncached. Those lookups are neither hits nor
+    // misses, so without this counter `hits + misses` undercounts lookups.
+    deadline_fallbacks: AtomicU64,
+    // Batched executions served by a cached timing trace (no timing walk).
+    trace_hits: AtomicU64,
+    // Individual datasets executed through the functional replayer instead
+    // of the full simulator. Stays zero for uncertified or perturbed
+    // batches — the counter-delta proof that the replay gate holds.
+    batched_replays: AtomicU64,
 }
 
 fn engine() -> &'static Engine {
@@ -192,12 +210,16 @@ fn engine() -> &'static Engine {
         runs: Mutex::new(BoundedCache::new()),
         runs_done: Condvar::new(),
         lints: Mutex::new(BoundedCache::new()),
+        traces: Mutex::new(BoundedCache::new()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
         evictions: AtomicU64::new(0),
         sim_cycles: AtomicU64::new(0),
         skipped_cycles: AtomicU64::new(0),
         fault_bypasses: AtomicU64::new(0),
+        deadline_fallbacks: AtomicU64::new(0),
+        trace_hits: AtomicU64::new(0),
+        batched_replays: AtomicU64::new(0),
     })
 }
 
@@ -374,7 +396,12 @@ pub(crate) fn run_cached_deadline(
                         // Budget spent waiting on someone else's run: fall
                         // through to an uncached simulation with the expired
                         // deadline — it returns `timed_out` almost
-                        // immediately and never touches the cache.
+                        // immediately and never touches the cache. Counted
+                        // separately: this lookup is neither a hit nor a
+                        // miss, and dropping it would break the
+                        // `hits + misses + deadline_fallbacks == lookups`
+                        // invariant the stats endpoint reports.
+                        e.deadline_fallbacks.fetch_add(1, Ordering::Relaxed);
                         drop(runs);
                         let workload =
                             if key.batch { bench.batch_workload() } else { bench.workload() };
@@ -463,6 +490,109 @@ pub fn run_degraded(
     run_uncached(bench, cfg, opts)
 }
 
+/// The result of a batched execution: one [`WorkloadRun`] per dataset
+/// seed, plus whether the batch went through the trace-replay fast path
+/// (`false` = every dataset was a full simulation).
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-dataset results, in `seeds` order.
+    pub runs: Vec<WorkloadRun>,
+    /// True when the datasets were executed by replaying one recorded
+    /// timing trace instead of N full simulations.
+    pub replayed: bool,
+}
+
+/// Executes `bench` under `cfg` once per dataset seed — through the
+/// batched replay path when the configuration is certified oblivious.
+///
+/// For certified programs one cycle-accurate **timing walk** records a
+/// [`TimingTrace`] (cached process-wide, next to the run cache), and each
+/// seed's dataset is then executed by the cheap functional replayer:
+/// byte-identical results, one simulation's worth of scheduling work.
+/// Uncertified programs fall back to N independent full simulations.
+///
+/// # Errors
+/// Propagates simulator errors, including replay desynchronization
+/// ([`revel_sim::SimError::Replay`]) — which a certified program can only
+/// hit if the certificate is wrong, so it is surfaced, never swallowed.
+pub fn run_batched(bench: Bench, cfg: &BuildCfg, seeds: &[u64]) -> Result<BatchRun, SimError> {
+    run_batched_with(bench, cfg, seeds, cfg.sim_options())
+}
+
+/// [`run_batched`] under explicit [`SimOptions`]. Perturbed options (a
+/// fault plan or a degraded fabric) force every dataset through
+/// [`run_uncached`]-style full simulation — each one counted in
+/// [`CacheStats::fault_bypasses`] — because perturbation changes timing
+/// behind the certifier's back.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_batched_with(
+    bench: Bench,
+    cfg: &BuildCfg,
+    seeds: &[u64],
+    opts: SimOptions,
+) -> Result<BatchRun, SimError> {
+    let e = engine();
+    let perturbed = opts.fault_plan.is_some() || opts.fabric_mask != FabricMask::HEALTHY;
+    let full_batch = |count_bypasses: bool| -> Result<BatchRun, SimError> {
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            if count_bypasses {
+                e.fault_bypasses.fetch_add(1, Ordering::Relaxed);
+            }
+            runs.push(run_workload_with(bench.workload_seeded(seed).as_ref(), cfg, opts)?);
+        }
+        Ok(BatchRun { runs, replayed: false })
+    };
+    if perturbed {
+        return full_batch(true);
+    }
+    let built = bench.workload().build(cfg);
+    if !batch_replayable(&built, cfg, &opts) {
+        return full_batch(false);
+    }
+
+    // Certified: fetch or record the timing trace for this cell.
+    let key = RunKey { bench, cfg: *cfg, batch: false };
+    let cached = e.traces.lock().expect("trace cache lock").get(&key);
+    let trace = match cached {
+        Some(t) => {
+            e.trace_hits.fetch_add(1, Ordering::Relaxed);
+            t
+        }
+        None => {
+            let (timing, trace) = record_timing(&built, cfg, opts)?;
+            if timing.report.timed_out {
+                // A budget- or deadline-capped timing walk is not a usable
+                // trace (and caching it would poison every later batch).
+                return full_batch(false);
+            }
+            let trace = Arc::new(trace);
+            let evicted = e.traces.lock().expect("trace cache lock").insert(
+                key,
+                trace.clone(),
+                cache_capacity(),
+            );
+            e.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            trace
+        }
+    };
+
+    // Replay the one trace over every dataset, reusing a single machine
+    // across lanes — allocating scratchpads per lane would cost more than
+    // the functional replay itself (see `replay_trace_on`).
+    let mut machine = revel_sim::Machine::new(cfg.machine_config(), opts);
+    let mut runs = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let built_seed = bench.workload_seeded(seed).build(cfg);
+        let run = replay_trace_on(&mut machine, &built_seed, &trace)?;
+        e.batched_replays.fetch_add(1, Ordering::Relaxed);
+        runs.push(run);
+    }
+    Ok(BatchRun { runs, replayed: true })
+}
+
 /// Runs REVEL and both spatial baselines for `bench` through the cache.
 ///
 /// # Errors
@@ -534,6 +664,17 @@ pub struct CacheStats {
     /// is provably data-independent, so a batched executor may reuse the
     /// cached cycle counts across datasets of the same shape.
     pub oblivious_entries: usize,
+    /// Deadline-expired waiters that gave up on another thread's in-flight
+    /// run and simulated uncached. These lookups are neither hits nor
+    /// misses; `hits + misses + deadline_fallbacks` equals total lookups.
+    pub deadline_fallbacks: u64,
+    /// Batched executions whose timing trace was served from the trace
+    /// cache (no timing walk needed).
+    pub trace_hits: u64,
+    /// Datasets executed through the functional trace replayer instead of
+    /// the full simulator. Zero for uncertified or perturbed batches — the
+    /// counter-delta proof that the replay gate holds.
+    pub batched_replays: u64,
 }
 
 impl CacheStats {
@@ -600,6 +741,9 @@ pub fn stats() -> CacheStats {
         skipped_cycles: e.skipped_cycles.load(Ordering::Relaxed),
         fault_bypasses: e.fault_bypasses.load(Ordering::Relaxed),
         oblivious_entries,
+        deadline_fallbacks: e.deadline_fallbacks.load(Ordering::Relaxed),
+        trace_hits: e.trace_hits.load(Ordering::Relaxed),
+        batched_replays: e.batched_replays.load(Ordering::Relaxed),
     }
 }
 
@@ -856,6 +1000,108 @@ mod tests {
         );
     }
 
+    /// Serializes the tests that assert exact deltas on the batch counters
+    /// (`batched_replays`, `trace_hits`): the counters are process-global,
+    /// so two batch tests interleaving would see each other's bumps.
+    static BATCH_COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn batched_replay_matches_independent_full_simulations() {
+        let _serial = BATCH_COUNTER_LOCK.lock().expect("batch counter lock");
+        let b = Bench::Fft { n: 64 };
+        let cfg = BuildCfg::revel(1);
+        let seeds = [2u64, 3, 4];
+        let before = stats();
+        let batch = run_batched(b, &cfg, &seeds).expect("batched run");
+        let after = stats();
+        assert!(batch.replayed, "a certified cell must take the replay path");
+        assert_eq!(batch.runs.len(), seeds.len());
+        assert_eq!(
+            after.batched_replays,
+            before.batched_replays + seeds.len() as u64,
+            "one replay per dataset: {before:?} -> {after:?}"
+        );
+        for (seed, run) in seeds.iter().zip(&batch.runs) {
+            run.assert_ok(&format!("fft batched seed {seed}"));
+            let full =
+                run_workload_with(b.workload_seeded(*seed).as_ref(), &cfg, cfg.sim_options())
+                    .expect("full sim");
+            full.assert_ok(&format!("fft full seed {seed}"));
+            assert_eq!(run.cycles, full.cycles, "seed {seed}: oblivious timing must match");
+            assert_eq!(
+                run.report.canonical_text(),
+                full.report.canonical_text(),
+                "seed {seed}: replayed report must be byte-identical to full simulation"
+            );
+        }
+        // A second batch of the same cell reuses the cached trace.
+        let mid = stats();
+        let again = run_batched(b, &cfg, &seeds).expect("batched rerun");
+        let last = stats();
+        assert!(again.replayed);
+        assert!(last.trace_hits > mid.trace_hits, "second batch must hit the trace cache");
+    }
+
+    #[test]
+    fn perturbed_batches_never_take_the_replay_path() {
+        use revel_sim::FaultPlan;
+        let _serial = BATCH_COUNTER_LOCK.lock().expect("batch counter lock");
+        let b = Bench::Fft { n: 64 };
+        let cfg = BuildCfg::revel(1);
+        let seeds = [5u64, 6];
+        let opts = SimOptions { fault_plan: Some(FaultPlan::new(7, 2, 4096)), ..cfg.sim_options() };
+        let before = stats();
+        let batch = run_batched_with(b, &cfg, &seeds, opts).expect("perturbed batch");
+        let after = stats();
+        assert!(!batch.replayed, "fault injection must force full simulation");
+        // `>=`: the fault/degraded bypass tests in this binary bump the
+        // same counter concurrently.
+        assert!(
+            after.fault_bypasses >= before.fault_bypasses + seeds.len() as u64,
+            "each perturbed dataset counts as a bypass: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.batched_replays, before.batched_replays,
+            "no perturbed dataset may reach the replayer"
+        );
+        let degraded = SimOptions {
+            fabric_mask: FabricMask { dead_pes: 1, dead_links: 0 },
+            ..cfg.sim_options()
+        };
+        let batch = run_batched_with(b, &cfg, &seeds, degraded).expect("degraded batch");
+        assert!(!batch.replayed, "a degraded fabric must force full simulation");
+        assert_eq!(stats().batched_replays, after.batched_replays);
+    }
+
+    #[test]
+    fn contended_deadline_fallback_keeps_lookup_accounting_exact() {
+        // Satellite fix: a waiter that gives up on someone else's in-flight
+        // run used to simulate uncached without bumping any counter,
+        // breaking `hits + misses + deadline_fallbacks == lookups`. Claim a
+        // key nobody else in this binary touches and watch a deadlined
+        // lookup fall back.
+        let b = Bench::Svd { n: 12 };
+        let cfg = BuildCfg::dataflow_baseline(1);
+        let key = RunKey { bench: b, cfg, batch: false };
+        let e = engine();
+        e.runs.lock().expect("run cache lock").claim(key);
+        let before = stats();
+        let deadline = Some(Instant::now() + std::time::Duration::from_millis(50));
+        let run = run_cached_deadline(b, &cfg, false, deadline).expect("falls back uncached");
+        let after = stats();
+        // Release the synthetic claim before asserting, so a failure here
+        // cannot hang other tests waiting on the key.
+        e.runs.lock().expect("run cache lock").release_claim(&key);
+        e.runs_done.notify_all();
+        assert!(run.report.timed_out, "expired-deadline fallback surfaces as timed_out");
+        assert!(run.report.deadline_expired);
+        assert_eq!(
+            after.deadline_fallbacks,
+            before.deadline_fallbacks + 1,
+            "the fallback must be counted: {before:?} -> {after:?}"
+        );
+    }
+
     #[test]
     fn hit_rate_is_well_defined() {
         let zero = CacheStats {
@@ -869,6 +1115,9 @@ mod tests {
             skipped_cycles: 0,
             fault_bypasses: 0,
             oblivious_entries: 0,
+            deadline_fallbacks: 0,
+            trace_hits: 0,
+            batched_replays: 0,
         };
         assert_eq!(zero.hit_rate(), 0.0);
         let mixed = CacheStats { hits: 3, misses: 1, ..zero };

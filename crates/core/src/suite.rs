@@ -252,6 +252,21 @@ impl Bench {
         crate::engine::run_cached(*self, cfg, true)
     }
 
+    /// Executes this bench once per dataset seed through the engine's
+    /// batched replay path ([`crate::engine::run_batched`]): certified
+    /// cells pay one timing walk plus N cheap functional replays;
+    /// uncertified cells fall back to N full simulations.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn run_batched(
+        &self,
+        cfg: &BuildCfg,
+        seeds: &[u64],
+    ) -> Result<crate::engine::BatchRun, SimError> {
+        crate::engine::run_batched(*self, cfg, seeds)
+    }
+
     /// Builds the kernel for `cfg` and runs every static lint over it,
     /// including post-schedule legality, through the engine's lint cache.
     /// Empty result = clean.

@@ -9,6 +9,9 @@
 //!
 //! # replay a canned JSONL request file twice (CI smoke)
 //! revel_client --replay ci/smoke.jsonl --passes 2 --assert-hit-rate 0.9
+//!
+//! # batched: each grid request simulates 16 seeded datasets of its cell
+//! revel_client --connections 2 --duration 5 --batch 16
 //! ```
 //!
 //! Prints a p50/p90/p99 latency histogram plus the server-reported engine
@@ -35,6 +38,7 @@ struct Args {
     connections: usize,
     rps: f64,
     duration_s: f64,
+    batch: usize,
     replay: Option<String>,
     passes: usize,
     deadline_ms: Option<u64>,
@@ -47,6 +51,7 @@ struct Args {
     assert_p99_ms: Option<f64>,
     assert_hit_rate: Option<f64>,
     assert_success_rate: Option<f64>,
+    assert_trace_hits: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +60,7 @@ fn parse_args() -> Args {
         connections: 4,
         rps: 0.0,
         duration_s: 10.0,
+        batch: 1,
         replay: None,
         passes: 1,
         deadline_ms: None,
@@ -67,6 +73,7 @@ fn parse_args() -> Args {
         assert_p99_ms: None,
         assert_hit_rate: None,
         assert_success_rate: None,
+        assert_trace_hits: None,
     };
     let mut host = "127.0.0.1".to_string();
     let mut port = 7411u16;
@@ -78,8 +85,11 @@ fn parse_args() -> Args {
             "--host" => host = val("--host"),
             "--port" => port = parse(&val("--port"), "--port"),
             "--connections" => a.connections = parse(&val("--connections"), "--connections"),
-            "--rps" => a.rps = parse(&val("--rps"), "--rps"),
-            "--duration" => a.duration_s = parse(&val("--duration"), "--duration"),
+            "--rps" => a.rps = parse_float(&val("--rps"), "--rps", 0.0, f64::MAX),
+            "--duration" => {
+                a.duration_s = parse_float(&val("--duration"), "--duration", 0.0, f64::MAX)
+            }
+            "--batch" => a.batch = parse(&val("--batch"), "--batch"),
             "--replay" => a.replay = Some(val("--replay")),
             "--passes" => a.passes = parse(&val("--passes"), "--passes"),
             "--deadline-ms" => a.deadline_ms = Some(parse(&val("--deadline-ms"), "--deadline-ms")),
@@ -99,14 +109,24 @@ fn parse_args() -> Args {
                     parse(&val("--breaker-cooldown-ms"), "--breaker-cooldown-ms");
             }
             "--assert-p99-ms" => {
-                a.assert_p99_ms = Some(parse(&val("--assert-p99-ms"), "--assert-p99-ms"));
+                a.assert_p99_ms =
+                    Some(parse_float(&val("--assert-p99-ms"), "--assert-p99-ms", 0.0, f64::MAX));
             }
             "--assert-hit-rate" => {
-                a.assert_hit_rate = Some(parse(&val("--assert-hit-rate"), "--assert-hit-rate"));
+                a.assert_hit_rate =
+                    Some(parse_float(&val("--assert-hit-rate"), "--assert-hit-rate", 0.0, 1.0));
             }
             "--assert-success-rate" => {
-                a.assert_success_rate =
-                    Some(parse(&val("--assert-success-rate"), "--assert-success-rate"));
+                a.assert_success_rate = Some(parse_float(
+                    &val("--assert-success-rate"),
+                    "--assert-success-rate",
+                    0.0,
+                    1.0,
+                ));
+            }
+            "--assert-trace-hits" => {
+                a.assert_trace_hits =
+                    Some(parse(&val("--assert-trace-hits"), "--assert-trace-hits"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -114,7 +134,24 @@ fn parse_args() -> Args {
     }
     a.addr = format!("{host}:{port}");
     a.connections = a.connections.max(1);
+    if a.batch == 0 {
+        usage("--batch needs at least 1 dataset lane");
+    }
     a
+}
+
+/// Parses a float flag, rejecting non-finite values and anything outside
+/// `[min, max]` **at parse time** — a NaN that reaches the percentile or
+/// gate math would otherwise report nonsense (NaN comparisons are all
+/// false, so `hit_rate < NaN` silently passes every gate).
+fn parse_float(s: &str, flag: &str, min: f64, max: f64) -> f64 {
+    let v: f64 = s.parse().unwrap_or_else(|_| usage(&format!("bad value '{s}' for {flag}")));
+    if !v.is_finite() || v < min || v > max {
+        let bound =
+            if max == f64::MAX { format!(">= {min}") } else { format!("in [{min}, {max}]") };
+        usage(&format!("{flag} must be finite and {bound}, got '{s}'"));
+    }
+    v
 }
 
 #[derive(Default)]
@@ -203,9 +240,23 @@ fn main() {
         after.evictions
     );
 
+    // Batched requests are served by the timing-trace cache, not the run
+    // cache, so their reuse shows up here rather than in the hit rate.
+    let d_trace_hits = after.trace_hits.saturating_sub(before.trace_hits);
+    let d_replays = after.batched_replays.saturating_sub(before.batched_replays);
+    println!(
+        "  batched trace cache over this window: {d_trace_hits} hit(s), \
+         {d_replays} lane replay(s)"
+    );
+
     if let Some(floor) = args.assert_hit_rate {
         if hit_rate < floor {
             gate_failures.push(format!("hit rate {hit_rate:.3} below floor {floor:.3}"));
+        }
+    }
+    if let Some(floor) = args.assert_trace_hits {
+        if d_trace_hits < floor {
+            gate_failures.push(format!("{d_trace_hits} trace hit(s) below floor {floor}"));
         }
     }
     if let Some(ceil_ms) = args.assert_p99_ms {
@@ -252,16 +303,30 @@ fn grid_load(args: &Args, tally: &Tally) {
     let cells = grid::evaluation_grid();
     let reqs: Vec<Request> = cells
         .iter()
-        .map(|c| Request::Simulate {
-            bench: c.bench.name().to_string(),
-            params: c.bench.params(),
-            arch: c.arch.to_string(),
-            deadline_ms: args.deadline_ms,
-            max_cycles: None,
-            reference_stepper: false,
-            fault_seed: None,
-            fault_count: None,
-            fault_window: None,
+        .map(|c| {
+            if args.batch > 1 {
+                // Batched mode: one request simulates `--batch` seeded
+                // datasets of the cell (certified cells replay one timing
+                // walk; the rest fall back to full per-seed simulations).
+                Request::SimulateBatch {
+                    bench: c.bench.name().to_string(),
+                    params: c.bench.params(),
+                    arch: c.arch.to_string(),
+                    seeds: (1..=args.batch as u64).collect(),
+                }
+            } else {
+                Request::Simulate {
+                    bench: c.bench.name().to_string(),
+                    params: c.bench.params(),
+                    arch: c.arch.to_string(),
+                    deadline_ms: args.deadline_ms,
+                    max_cycles: None,
+                    reference_stepper: false,
+                    fault_seed: None,
+                    fault_count: None,
+                    fault_window: None,
+                }
+            }
         })
         .collect();
     let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
@@ -445,10 +510,11 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: revel_client [--host H] [--port P] [--connections N] [--rps R] [--duration S]\n\
-         \x20                 [--replay FILE] [--passes N] [--deadline-ms MS]\n\
+         \x20                 [--batch N] [--replay FILE] [--passes N] [--deadline-ms MS]\n\
          \x20                 [--retries N] [--backoff-base-ms MS] [--backoff-cap-ms MS]\n\
          \x20                 [--retry-seed SEED] [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
-         \x20                 [--assert-p99-ms MS] [--assert-hit-rate F] [--assert-success-rate F]"
+         \x20                 [--assert-p99-ms MS] [--assert-hit-rate F] [--assert-success-rate F]\n\
+         \x20                 [--assert-trace-hits N]"
     );
     std::process::exit(2);
 }

@@ -325,7 +325,17 @@ impl RetryClient {
 
 /// Latency percentile over an **unsorted** sample set (sorts a copy):
 /// nearest-rank, `p` in [0, 100].
+///
+/// # Panics
+/// On a non-finite or out-of-range `p`. The old behavior silently clamped
+/// (NaN ceiled to rank 0 and reported the *minimum* as "p99"); a caller
+/// holding a bad percentile has a bug that must not masquerade as a
+/// latency number.
 pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    assert!(
+        p.is_finite() && (0.0..=100.0).contains(&p),
+        "percentile p must be finite and in [0, 100], got {p}"
+    );
     if samples.is_empty() {
         return Duration::ZERO;
     }
@@ -356,6 +366,46 @@ mod tests {
         // Unsorted input is handled.
         let mixed = [3, 1, 2].map(Duration::from_millis);
         assert_eq!(percentile(&mixed, 50.0), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn percentile_boundaries_are_exact() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        // Finite edges of the valid range are legal, not near-misses.
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&ms, 100.0), Duration::from_millis(10));
+        // A single sample answers every percentile.
+        assert_eq!(percentile(&[Duration::from_millis(7)], 99.9), Duration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn percentile_rejects_nan() {
+        // The old clamp ceiled NaN to rank 0 and silently reported the
+        // minimum; a NaN percentile is a caller bug and must be loud.
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let _ = percentile(&ms, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn percentile_rejects_infinity() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let _ = percentile(&ms, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let _ = percentile(&ms, 100.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 100]")]
+    fn percentile_rejects_negative() {
+        let ms: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let _ = percentile(&ms, -1.0);
     }
 
     #[test]

@@ -61,6 +61,20 @@ pub enum Request {
         /// `fault_seed`).
         fault_window: Option<u64>,
     },
+    /// Simulate one evaluation-grid cell over a batch of seeded datasets
+    /// (one per entry of `seeds`). Certified-oblivious cells pay for one
+    /// timing walk and replay it functionally per dataset; uncertified
+    /// cells fall back to independent full simulations.
+    SimulateBatch {
+        /// Kernel name (`Bench::name`).
+        bench: String,
+        /// Parameter string.
+        params: String,
+        /// Architecture label.
+        arch: String,
+        /// Dataset seeds, one simulated lane of results per entry.
+        seeds: Vec<u64>,
+    },
     /// Run every static lint over one cell's build (lint cache).
     Lint {
         /// Kernel name.
@@ -104,6 +118,15 @@ pub struct EngineStatsWire {
     /// Cached runs carrying an obliviousness certificate (timing provably
     /// data-independent, reusable across same-shaped datasets).
     pub oblivious_entries: u64,
+    /// Cached-run waits that hit the caller's deadline and simulated
+    /// uncached instead. Decoded as 0 from legacy frames.
+    pub deadline_fallbacks: u64,
+    /// Batched runs that reused a cached timing trace. Decoded as 0 from
+    /// legacy frames.
+    pub trace_hits: u64,
+    /// Per-dataset functional replays performed by batched runs. Decoded
+    /// as 0 from legacy frames.
+    pub batched_replays: u64,
 }
 
 /// Schedule-cache counters on the wire (mirrors
@@ -169,6 +192,21 @@ pub enum Response {
         verified: bool,
         /// Verification failure text, when `verified` is false.
         error: Option<String>,
+    },
+    /// A completed batched simulation (one result summary over all lanes).
+    BatchResult {
+        /// Cycle count of one lane (every lane of an oblivious batch
+        /// executes the same schedule, so one count describes all).
+        cycles: u64,
+        /// Stream commands issued by the control core, per lane.
+        commands_issued: u64,
+        /// Number of dataset lanes simulated.
+        batch: u64,
+        /// Numerical verification passed on every lane.
+        verified: bool,
+        /// True when the batch took the trace-replay path (certified
+        /// oblivious); false when it fell back to full simulations.
+        replayed: bool,
     },
     /// A simulation ended by the cycle budget or the wall-clock deadline.
     TimedOut {
@@ -355,6 +393,16 @@ pub fn encode_request(id: u64, req: &Request) -> String {
                 fields.push(("fault_window".to_string(), Value::u64(*w)));
             }
         }
+        Request::SimulateBatch { bench, params, arch, seeds } => {
+            op("simulate_batch");
+            fields.push(("bench".to_string(), Value::str(bench)));
+            fields.push(("params".to_string(), Value::str(params)));
+            fields.push(("arch".to_string(), Value::str(arch)));
+            fields.push((
+                "seeds".to_string(),
+                Value::Arr(seeds.iter().map(|s| Value::u64(*s)).collect()),
+            ));
+        }
         Request::Lint { bench, params, arch } => {
             op("lint");
             fields.push(("bench".to_string(), Value::str(bench)));
@@ -399,6 +447,18 @@ pub fn decode_request(line: &str) -> Result<(u64, Request), ProtoError> {
             fault_count: opt_u64(&v, "fault_count")?,
             fault_window: opt_u64(&v, "fault_window")?,
         },
+        "simulate_batch" => Request::SimulateBatch {
+            bench: req_str(&v, "bench")?,
+            params: req_str(&v, "params")?,
+            arch: req_str(&v, "arch")?,
+            seeds: v
+                .get("seeds")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad("missing array field 'seeds'"))?
+                .iter()
+                .map(|s| s.as_u64().ok_or_else(|| bad("seeds must be counts")))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
         "lint" => Request::Lint {
             bench: req_str(&v, "bench")?,
             params: req_str(&v, "params")?,
@@ -441,6 +501,9 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                     ("skipped_cycles", engine.skipped_cycles),
                     ("fault_bypasses", engine.fault_bypasses),
                     ("oblivious_entries", engine.oblivious_entries),
+                    ("deadline_fallbacks", engine.deadline_fallbacks),
+                    ("trace_hits", engine.trace_hits),
+                    ("batched_replays", engine.batched_replays),
                 ]),
             ));
             fields.push((
@@ -475,6 +538,14 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
             if let Some(e) = error {
                 fields.push(("error".to_string(), Value::str(e)));
             }
+        }
+        Response::BatchResult { cycles, commands_issued, batch, verified, replayed } => {
+            kind("batch_result");
+            fields.push(("cycles".to_string(), Value::u64(*cycles)));
+            fields.push(("commands_issued".to_string(), Value::u64(*commands_issued)));
+            fields.push(("batch".to_string(), Value::u64(*batch)));
+            fields.push(("verified".to_string(), Value::Bool(*verified)));
+            fields.push(("replayed".to_string(), Value::Bool(*replayed)));
         }
         Response::TimedOut { cycles, deadline_expired, deadlock } => {
             kind("timed_out");
@@ -567,6 +638,12 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     "oblivious_entries",
                 ],
             )?;
+            // Counters added after the v1 stats frame are optional on
+            // decode (default 0) so legacy frames stay decodable.
+            let eng = v.get("engine").ok_or_else(|| bad("missing object field 'engine'"))?;
+            let deadline_fallbacks = opt_u64(eng, "deadline_fallbacks")?.unwrap_or(0);
+            let trace_hits = opt_u64(eng, "trace_hits")?.unwrap_or(0);
+            let batched_replays = opt_u64(eng, "batched_replays")?.unwrap_or(0);
             let s = wire_counters(&v, "schedule_cache_stats", &["hits", "misses", "entries"])?;
             let srv = wire_counters(
                 &v,
@@ -585,6 +662,9 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     skipped_cycles: e[7],
                     fault_bypasses: e[8],
                     oblivious_entries: e[9],
+                    deadline_fallbacks,
+                    trace_hits,
+                    batched_replays,
                 },
                 schedule: ScheduleStatsWire { hits: s[0], misses: s[1], entries: s[2] },
                 server: ServerStatsWire {
@@ -606,6 +686,19 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                 .and_then(Value::as_bool)
                 .ok_or_else(|| bad("missing boolean field 'verified'"))?,
             error: v.get("error").and_then(Value::as_str).map(str::to_owned),
+        },
+        "batch_result" => Response::BatchResult {
+            cycles: req_u64(&v, "cycles")?,
+            commands_issued: req_u64(&v, "commands_issued")?,
+            batch: req_u64(&v, "batch")?,
+            verified: v
+                .get("verified")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'verified'"))?,
+            replayed: v
+                .get("replayed")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'replayed'"))?,
         },
         "timed_out" => Response::TimedOut {
             cycles: req_u64(&v, "cycles")?,

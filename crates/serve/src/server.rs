@@ -492,6 +492,9 @@ fn stats_response(shared: &Shared) -> Response {
             skipped_cycles: e.skipped_cycles,
             fault_bypasses: e.fault_bypasses,
             oblivious_entries: e.oblivious_entries as u64,
+            deadline_fallbacks: e.deadline_fallbacks,
+            trace_hits: e.trace_hits,
+            batched_replays: e.batched_replays,
         },
         schedule: ScheduleStatsWire { hits: s.hits, misses: s.misses, entries: s.entries as u64 },
         server: ServerStatsWire {
@@ -533,6 +536,9 @@ fn execute(req: &Request, deadline: Option<Instant>) -> Response {
                 );
             }
             simulate(bench, params, arch, deadline, *max_cycles, *reference_stepper)
+        }
+        Request::SimulateBatch { bench, params, arch, seeds } => {
+            simulate_batch(bench, params, arch, seeds)
         }
         Request::Lint { bench, params, arch } => match grid::resolve(bench, params, arch) {
             Some((b, cfg)) => {
@@ -589,6 +595,40 @@ fn simulate_faulted(
                 missed: recorded - applied,
                 pending: snap.map_or(0, |s| u64::from(s.pending)),
                 first_divergence: snap.and_then(|s| s.first_divergence),
+            }
+        }
+        Err(e) => Response::error("sim_error", e.to_string()),
+    }
+}
+
+/// A batched simulation request: one cell, N seeded datasets. Certified
+/// cells pay one timing walk and replay it per seed; the rest simulate
+/// each seed in full. Either way every lane is verified, and a lane that
+/// hits the cycle budget turns the whole batch into `timed_out` (a
+/// truncated lane has no trustworthy result to summarize).
+fn simulate_batch(bench: &str, params: &str, arch: &str, seeds: &[u64]) -> Response {
+    if seeds.is_empty() {
+        return Response::error("bad_request", "simulate_batch needs at least one seed");
+    }
+    let Some((b, cfg)) = grid::resolve(bench, params, arch) else {
+        return unknown_bench(bench, params, arch);
+    };
+    match b.run_batched(&cfg, seeds) {
+        Ok(batch) => {
+            if let Some(run) = batch.runs.iter().find(|r| r.report.timed_out) {
+                return Response::TimedOut {
+                    cycles: run.report.cycles,
+                    deadline_expired: run.report.deadline_expired,
+                    deadlock: run.report.deadlock.as_ref().map(|d| d.to_string()),
+                };
+            }
+            let first = &batch.runs[0];
+            Response::BatchResult {
+                cycles: first.cycles,
+                commands_issued: first.report.commands_issued,
+                batch: batch.runs.len() as u64,
+                verified: batch.runs.iter().all(|r| r.verified.is_ok()),
+                replayed: batch.replayed,
             }
         }
         Err(e) => Response::error("sim_error", e.to_string()),

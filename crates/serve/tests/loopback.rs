@@ -330,6 +330,79 @@ fn malformed_and_oversized_frames_never_kill_the_server() {
     assert!(stats.errors >= 2, "both rejections counted: {stats}");
 }
 
+/// Batched simulation over the wire: a certified grid cell's
+/// `simulate_batch` takes the trace-replay path (visible in the engine's
+/// `batched_replays` counter), answers with a per-lane-verified summary
+/// whose cycle count matches the single-run path, and rejects an empty
+/// seed list as `bad_request` — while a locally computed
+/// `Bench::run_batched` agrees with everything the server said.
+#[test]
+fn simulate_batch_replays_certified_cells_over_the_wire() {
+    let (addr, handle) = start(2, 8);
+    let mut c = Client::connect(&addr).expect("connect");
+    let bench = Bench::Fft { n: 64 };
+    let seeds = vec![21u64, 22, 23];
+
+    let before = match c.request(&Request::Stats).expect("stats") {
+        Response::Stats { engine, .. } => engine,
+        other => panic!("expected stats, got {other:?}"),
+    };
+
+    let resp = c
+        .request(&Request::SimulateBatch {
+            bench: bench.name().into(),
+            params: bench.params(),
+            arch: "revel".into(),
+            seeds: seeds.clone(),
+        })
+        .expect("simulate_batch");
+    // Ground truth from the same process-wide engine the server answers
+    // from: every summary field must agree.
+    let cfg = revel_core::compiler::BuildCfg::revel(bench.lanes());
+    let local = bench.run_batched(&cfg, &seeds).expect("local batch");
+    match resp {
+        Response::BatchResult { cycles, commands_issued, batch, verified, replayed } => {
+            assert_eq!(batch, seeds.len() as u64);
+            assert!(verified, "every lane verifies");
+            assert!(replayed, "a certified cell must take the replay path");
+            assert_eq!(replayed, local.replayed);
+            assert_eq!(cycles, local.runs[0].cycles, "wire summary matches the local batch");
+            assert_eq!(commands_issued, local.runs[0].report.commands_issued);
+        }
+        other => panic!("expected batch_result, got {other:?}"),
+    }
+
+    let after = match c.request(&Request::Stats).expect("stats") {
+        Response::Stats { engine, .. } => engine,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    // The local ground-truth batch replayed too, so the counter moved by
+    // at least both batches' lanes (other tests share the process).
+    assert!(
+        after.batched_replays >= before.batched_replays + 2 * seeds.len() as u64,
+        "replay-path proof: {} -> {}",
+        before.batched_replays,
+        after.batched_replays
+    );
+
+    // An empty batch is a caller bug, answered loudly and structurally.
+    let resp = c
+        .request(&Request::SimulateBatch {
+            bench: bench.name().into(),
+            params: bench.params(),
+            arch: "revel".into(),
+            seeds: vec![],
+        })
+        .expect("empty batch");
+    assert!(
+        matches!(resp, Response::Error { ref kind, .. } if kind == "bad_request"),
+        "empty seeds must be bad_request, got {resp:?}"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("server thread");
+}
+
 /// The `stats` endpoint reports all three counter families, and the cache
 /// counters move the right way across a repeated simulation.
 #[test]

@@ -48,6 +48,18 @@ fn every_request() -> Vec<Request> {
             fault_count: Some(4),
             fault_window: Some(4096),
         },
+        Request::SimulateBatch {
+            bench: "fft".into(),
+            params: "n=64".into(),
+            arch: "revel".into(),
+            seeds: vec![1, 2, 3, 0xFFFF_FFFF_FFFF],
+        },
+        Request::SimulateBatch {
+            bench: "solver".into(),
+            params: "n=16".into(),
+            arch: "dataflow".into(),
+            seeds: vec![42],
+        },
         Request::Lint {
             bench: "fir".into(),
             params: "m=37 n=1024".into(),
@@ -72,6 +84,9 @@ fn every_response() -> Vec<Response> {
                 skipped_cycles: 100_000_000,
                 fault_bypasses: 6,
                 oblivious_entries: 2,
+                deadline_fallbacks: 1,
+                trace_hits: 4,
+                batched_replays: 32,
             },
             schedule: ScheduleStatsWire { hits: 40, misses: 5, entries: 5 },
             server: ServerStatsWire {
@@ -90,6 +105,20 @@ fn every_response() -> Vec<Response> {
             commands_issued: 120,
             verified: false,
             error: Some("lane 3 diverged".into()),
+        },
+        Response::BatchResult {
+            cycles: 7185,
+            commands_issued: 120,
+            batch: 64,
+            verified: true,
+            replayed: true,
+        },
+        Response::BatchResult {
+            cycles: 9000,
+            commands_issued: 80,
+            batch: 8,
+            verified: false,
+            replayed: false,
         },
         Response::TimedOut { cycles: 100_000, deadline_expired: false, deadlock: None },
         Response::TimedOut {
@@ -159,6 +188,33 @@ fn hint_free_frames_match_the_legacy_wire_format() {
     );
 }
 
+/// A stats frame from a pre-batching server (no `deadline_fallbacks`,
+/// `trace_hits`, or `batched_replays` fields) must still decode — the new
+/// counters default to zero rather than failing the frame.
+#[test]
+fn legacy_stats_frames_decode_with_zeroed_new_counters() {
+    let legacy = concat!(
+        "{\"id\":9,\"type\":\"stats\",",
+        "\"engine\":{\"hits\":10,\"misses\":3,\"evictions\":1,\"capacity\":1024,",
+        "\"run_entries\":2,\"lint_entries\":1,\"sim_cycles\":5,\"skipped_cycles\":0,",
+        "\"fault_bypasses\":6,\"oblivious_entries\":2},",
+        "\"schedule_cache_stats\":{\"hits\":40,\"misses\":5,\"entries\":5},",
+        "\"server\":{\"received\":50,\"completed\":48,\"overloaded\":1,",
+        "\"timed_out\":2,\"errors\":1}}"
+    );
+    let (id, resp) = decode_response(legacy).expect("legacy stats frame must decode");
+    assert_eq!(id, 9);
+    match resp {
+        Response::Stats { engine, .. } => {
+            assert_eq!(engine.hits, 10);
+            assert_eq!(engine.deadline_fallbacks, 0);
+            assert_eq!(engine.trace_hits, 0);
+            assert_eq!(engine.batched_replays, 0);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
 #[test]
 fn every_request_round_trips() {
     for (i, req) in every_request().into_iter().enumerate() {
@@ -200,6 +256,9 @@ fn malformed_frames_are_rejected_not_panics() {
         "{\"id\":1,\"op\":\"simulate\",\"bench\":\"qr\"}",
         "{\"id\":1,\"op\":\"simulate\",\"bench\":\"qr\",\"params\":\"n=12\",\"arch\":\"revel\",\"deadline_ms\":-5}",
         "{\"id\":-1,\"op\":\"health\"}",
+        "{\"id\":1,\"op\":\"simulate_batch\",\"bench\":\"fft\",\"params\":\"n=64\",\"arch\":\"revel\"}",
+        "{\"id\":1,\"op\":\"simulate_batch\",\"bench\":\"fft\",\"params\":\"n=64\",\"arch\":\"revel\",\"seeds\":[1,\"two\"]}",
+        "{\"id\":1,\"op\":\"simulate_batch\",\"bench\":\"fft\",\"params\":\"n=64\",\"arch\":\"revel\",\"seeds\":7}",
     ] {
         assert!(decode_request(bad).is_err(), "must reject {bad:?}");
     }

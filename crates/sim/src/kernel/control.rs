@@ -82,6 +82,9 @@ impl Machine {
                 // Host computations synchronize with the fabric through
                 // explicit Wait steps placed before them by the builder;
                 // here the core just burns cycles and touches memory.
+                if let Some(t) = &mut self.trace {
+                    t.record(crate::trace::TraceOp::Host { pc: self.control.pc as u32 });
+                }
                 let mut mem = MachineMem { lanes: &mut self.lanes, shared: &mut self.shared };
                 (op.func)(&mut mem);
                 self.control.busy_until = now + op.cycles.max(1);

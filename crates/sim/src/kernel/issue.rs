@@ -3,7 +3,8 @@
 
 use crate::lane::{ActiveStream, PatternWalker, RowTracker, StreamBody};
 use crate::machine::Machine;
-use revel_isa::{LaneHop, MemTarget, StreamCommand};
+use crate::trace::TraceOp;
+use revel_isa::{LaneHop, MemTarget, ProdMode, StreamCommand};
 use revel_prog::RevelProgram;
 use revel_scheduler::RegionSchedule;
 
@@ -55,6 +56,9 @@ impl Machine {
                         }
                         let idx = config.0 as usize;
                         lane.apply_config(&program.configs[idx], &schedules[idx]);
+                        if let Some(t) = &mut self.trace {
+                            t.record(TraceOp::Configure { lane: li as u8, config: config.0 });
+                        }
                         lane.reconfig_until = 0;
                         lane.draining = false;
                         lane.cmd_queue.pop_front();
@@ -90,6 +94,13 @@ impl Machine {
                                 break;
                             }
                             lane.regions[r].set_accum_len(*len);
+                            if let Some(t) = &mut self.trace {
+                                t.record(TraceOp::SetAccumLen {
+                                    lane: li as u8,
+                                    region: r as u8,
+                                    len: *len,
+                                });
+                            }
                         }
                         lane.cmd_queue.pop_front();
                         issued += 1;
@@ -155,6 +166,9 @@ impl Machine {
                 }
                 lane.in_busy[d] = true;
                 lane.in_ports[d].bind_stream(*reuse);
+                if let Some(t) = &mut self.trace {
+                    t.record(TraceOp::BindIn { lane: li as u8, port: dst.0, reuse: *reuse });
+                }
                 let seq = lane.next_seq;
                 lane.next_seq += 1;
                 lane.streams.push(ActiveStream {
@@ -178,6 +192,13 @@ impl Machine {
                 }
                 lane.in_busy[d] = true;
                 lane.in_ports[d].bind_stream(revel_isa::RateFsm::ONCE);
+                if let Some(t) = &mut self.trace {
+                    t.record(TraceOp::BindIn {
+                        lane: li as u8,
+                        port: dst.0,
+                        reuse: revel_isa::RateFsm::ONCE,
+                    });
+                }
                 let values = pattern.expand().into_iter().map(f64::from_bits).collect();
                 let seq = lane.next_seq;
                 lane.next_seq += 1;
@@ -193,6 +214,14 @@ impl Machine {
                 }
                 lane.out_busy[s] = true;
                 lane.out_ports[s].bind_stream(*discard);
+                if let Some(t) = &mut self.trace {
+                    t.record(TraceOp::BindOut {
+                        lane: li as u8,
+                        port: src.0,
+                        discard: *discard,
+                        mode: ProdMode::KeepFirst,
+                    });
+                }
                 let seq = lane.next_seq;
                 lane.next_seq += 1;
                 lane.streams.push(ActiveStream {
@@ -227,6 +256,19 @@ impl Machine {
                         lane.in_busy[d] = true;
                         lane.out_ports[s].bind_stream_mode(*production, *prod_mode);
                         lane.in_ports[d].bind_stream(*consumption);
+                        if let Some(t) = &mut self.trace {
+                            t.record(TraceOp::BindOut {
+                                lane: li as u8,
+                                port: route.src.0,
+                                discard: *production,
+                                mode: *prod_mode,
+                            });
+                            t.record(TraceOp::BindIn {
+                                lane: li as u8,
+                                port: route.dst.0,
+                                reuse: *consumption,
+                            });
+                        }
                         let seq = lane.next_seq;
                         lane.next_seq += 1;
                         lane.streams.push(ActiveStream {
@@ -252,6 +294,19 @@ impl Machine {
                         self.lanes[ri].in_busy[d] = true;
                         self.lanes[li].out_ports[s].bind_stream_mode(*production, *prod_mode);
                         self.lanes[ri].in_ports[d].bind_stream(*consumption);
+                        if let Some(t) = &mut self.trace {
+                            t.record(TraceOp::BindOut {
+                                lane: li as u8,
+                                port: route.src.0,
+                                discard: *production,
+                                mode: *prod_mode,
+                            });
+                            t.record(TraceOp::BindIn {
+                                lane: ri as u8,
+                                port: route.dst.0,
+                                reuse: *consumption,
+                            });
+                        }
                         let seq = self.lanes[li].next_seq;
                         self.lanes[li].next_seq += 1;
                         self.lanes[li].streams.push(ActiveStream {

@@ -13,6 +13,7 @@
 
 use crate::lane::{Lane, PatternWalker, StreamBody};
 use crate::machine::Machine;
+use crate::trace::TraceOp;
 use revel_isa::MemTarget;
 
 impl Machine {
@@ -91,6 +92,15 @@ impl Machine {
                             if !port.push_word(val, elem.last_in_row) {
                                 break;
                             }
+                            if let Some(t) = &mut self.trace {
+                                t.record(TraceOp::PushMem {
+                                    lane: li as u8,
+                                    port: *dst,
+                                    target: *target,
+                                    addr: elem.offset,
+                                    row_end: elem.last_in_row,
+                                });
+                            }
                             walker.advance();
                             *budget -= 1;
                             progress = true;
@@ -106,6 +116,11 @@ impl Machine {
                             // progress case.
                             *flushed = port.flush_at_stream_end();
                             progress |= *flushed;
+                            if *flushed {
+                                if let Some(t) = &mut self.trace {
+                                    t.record(TraceOp::FlushIn { lane: li as u8, port: *dst });
+                                }
+                            }
                         }
                     }
                     StreamBody::Const { dst, values } => {
@@ -114,6 +129,13 @@ impl Machine {
                             let Some(v) = values.front() else { break };
                             if !port.can_accept() || !port.push_word(*v, false) {
                                 break;
+                            }
+                            if let Some(t) = &mut self.trace {
+                                t.record(TraceOp::PushConst {
+                                    lane: li as u8,
+                                    port: *dst,
+                                    bits: v.to_bits(),
+                                });
                             }
                             values.pop_front();
                             const_budget -= 1;
@@ -161,7 +183,12 @@ impl Machine {
                             }
                             let occ_before = port.occupancy();
                             let Some(v) = port.pop_kept() else {
-                                progress |= port.occupancy() != occ_before;
+                                if port.occupancy() != occ_before {
+                                    progress = true;
+                                    if let Some(t) = &mut self.trace {
+                                        t.record(TraceOp::PopSpent { lane: li as u8, port: *src });
+                                    }
+                                }
                                 break;
                             };
                             progress = true;
@@ -175,6 +202,14 @@ impl Machine {
                                     self.shared.write_f64(elem.offset, v);
                                     events.shared_spad_words += 1;
                                 }
+                            }
+                            if let Some(t) = &mut self.trace {
+                                t.record(TraceOp::PopStore {
+                                    lane: li as u8,
+                                    port: *src,
+                                    target: *target,
+                                    addr: elem.offset,
+                                });
                             }
                             events.port_words += 1;
                             walker.advance();
@@ -190,13 +225,27 @@ impl Machine {
                             }
                             let occ_before = out_ports[sp].occupancy();
                             let Some(v) = out_ports[sp].pop_kept() else {
-                                progress |= out_ports[sp].occupancy() != occ_before;
+                                if out_ports[sp].occupancy() != occ_before {
+                                    progress = true;
+                                    if let Some(t) = &mut self.trace {
+                                        t.record(TraceOp::PopSpent { lane: li as u8, port: *src });
+                                    }
+                                }
                                 break;
                             };
                             progress = true;
                             let row_end = rows.step();
                             let ok = in_ports[dp].push_word(v, row_end);
                             debug_assert!(ok, "can_accept guaranteed space");
+                            if let Some(t) = &mut self.trace {
+                                t.record(TraceOp::XferWord {
+                                    src_lane: li as u8,
+                                    src_port: *src,
+                                    dst_lane: li as u8,
+                                    dst_port: *dst,
+                                    row_end,
+                                });
+                            }
                             *remaining -= 1;
                             xfer_budget -= 1;
                             events.bus_words += 2; // bus out + bus in
@@ -231,13 +280,27 @@ impl Machine {
                         }
                         let occ_before = a.out_ports[sp].occupancy();
                         let Some(v) = a.out_ports[sp].pop_kept() else {
-                            progress |= a.out_ports[sp].occupancy() != occ_before;
+                            if a.out_ports[sp].occupancy() != occ_before {
+                                progress = true;
+                                if let Some(t) = &mut self.trace {
+                                    t.record(TraceOp::PopSpent { lane: li as u8, port: *src });
+                                }
+                            }
                             break;
                         };
                         progress = true;
                         let row_end = rows.step();
                         let ok = b.in_ports[dp].push_word(v, row_end);
                         debug_assert!(ok, "can_accept guaranteed space");
+                        if let Some(t) = &mut self.trace {
+                            t.record(TraceOp::XferWord {
+                                src_lane: li as u8,
+                                src_port: *src,
+                                dst_lane: ri as u8,
+                                dst_port: *dst,
+                                row_end,
+                            });
+                        }
                         *remaining -= 1;
                         budget -= 1;
                         a.events.bus_words += 2;

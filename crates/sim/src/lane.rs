@@ -6,6 +6,7 @@ use crate::kernel::NextEvent;
 use crate::memory::Scratchpad;
 use crate::port::{InPort, OutPort};
 use crate::stats::{CycleBreakdown, CycleClass};
+use crate::trace::{TraceOp, TraceRecorder};
 use revel_dfg::{Dfg, DfgEvaluator, Node, OpCode, Region, RegionKind, VecVal};
 use revel_fabric::{EventCounts, LaneConfig};
 use revel_isa::{AffinePattern, MemTarget, OutPortId, PatternElem, PatternIter, RateFsm};
@@ -226,6 +227,11 @@ impl RegionState {
         self.temporal_shape.is_some()
     }
 
+    /// Input-port indices this region reads from (for replay pre-checks).
+    pub(crate) fn input_port_ids(&self) -> &[u8] {
+        &self.in_ports
+    }
+
     pub(crate) fn idle(&self) -> bool {
         self.inflight.is_empty()
     }
@@ -386,13 +392,13 @@ impl Lane {
     }
 
     /// Fires every region that is ready this cycle.
-    pub(crate) fn fire_regions(&mut self, now: u64) {
+    pub(crate) fn fire_regions(&mut self, now: u64, li: u8, trace: &mut Option<TraceRecorder>) {
         let has_pending_activity =
             !self.streams.is_empty() || !self.cmd_queue.is_empty() || !self.instances.is_empty();
         for r in 0..self.regions.len() {
             let ready = self.region_ready(r, now);
             match ready {
-                ReadyState::Ready => self.fire_region(r, now),
+                ReadyState::Ready => self.fire_region(r, now, li, trace),
                 ReadyState::MissingInput => {
                     if has_pending_activity {
                         self.dep_blocked = true;
@@ -446,14 +452,14 @@ impl Lane {
         rs.in_ports.iter().any(|p| self.in_ports[*p as usize].peek().is_some())
     }
 
-    fn fire_region(&mut self, r: usize, now: u64) {
-        self.progressed = true;
+    /// The valid-lane count a fire of region `r` would cover right now:
+    /// the minimum head valid-count across full-width vector inputs. Pure
+    /// (reads port heads only) — the replayer recomputes it and checks it
+    /// against the recorded value as a divergence probe.
+    pub(crate) fn compute_fire_valid(&self, r: usize) -> u32 {
         let unroll = self.regions[r].region.unroll;
-        let in_port_ids = self.regions[r].in_ports.clone();
-        // The fire covers `fire_valid` logical inner-loop elements: the
-        // minimum valid-lane count across full-width vector inputs.
         let mut fire_valid = unroll as u32;
-        for p in &in_port_ids {
+        for p in &self.regions[r].in_ports {
             let port = &self.in_ports[*p as usize];
             if port.width() == unroll && unroll > 1 {
                 if let Some(head) = port.peek() {
@@ -461,7 +467,21 @@ impl Lane {
                 }
             }
         }
-        let fire_valid = fire_valid.max(1);
+        fire_valid.max(1)
+    }
+
+    /// The functional half of a region fire: gathers inputs from the ports
+    /// (mutating reuse FSMs) and evaluates the DFG, returning the outputs
+    /// and the minimum adapted valid-count. Shared verbatim by the timing
+    /// walk and the trace replayer — that sharing is what makes replayed
+    /// values byte-identical to full simulation.
+    pub(crate) fn gather_and_fire(
+        &mut self,
+        r: usize,
+        fire_valid: u32,
+    ) -> (Vec<(OutPortId, VecVal)>, u32) {
+        let unroll = self.regions[r].region.unroll;
+        let in_port_ids = self.regions[r].in_ports.clone();
         // Gather inputs. Scalar-broadcast ports burn `fire_valid` reuse
         // elements per fire (reuse counts are in element units); vector
         // ports consume one presentation per fire.
@@ -479,8 +499,20 @@ impl Lane {
             min_valid = min_valid.min(adapted.valid_count());
             inputs.push(adapted);
         }
+        (self.regions[r].eval.fire(&inputs), min_valid)
+    }
+
+    fn fire_region(&mut self, r: usize, now: u64, li: u8, trace: &mut Option<TraceRecorder>) {
+        self.progressed = true;
+        let unroll = self.regions[r].region.unroll;
+        // The fire covers `fire_valid` logical inner-loop elements: the
+        // minimum valid-lane count across full-width vector inputs.
+        let fire_valid = self.compute_fire_valid(r);
+        if let Some(t) = trace {
+            t.record(TraceOp::Fire { lane: li, region: r as u8, fire_valid });
+        }
+        let (outputs, min_valid) = self.gather_and_fire(r, fire_valid);
         let is_temporal = self.regions[r].is_temporal();
-        let outputs = self.regions[r].eval.fire(&inputs);
 
         // Event accounting.
         if is_temporal {
@@ -526,7 +558,7 @@ impl Lane {
 
     /// Delivers matured systolic outputs to output ports (respecting
     /// FIFO space — backpressure stalls delivery).
-    pub(crate) fn deliver_outputs(&mut self, now: u64) {
+    pub(crate) fn deliver_outputs(&mut self, now: u64, li: u8, trace: &mut Option<TraceRecorder>) {
         for r in 0..self.regions.len() {
             while let Some((ready, outs)) = self.regions[r].inflight.front() {
                 if *ready > now {
@@ -540,6 +572,9 @@ impl Lane {
                 }
                 // Front exists: the `while let` just matched it.
                 let (_, outs) = self.regions[r].inflight.pop_front().expect("checked");
+                if let Some(t) = trace.as_mut() {
+                    t.record(TraceOp::Deliver { lane: li, region: r as u8 });
+                }
                 self.progressed = true;
                 for (p, v) in outs {
                     if v.any_valid() {
@@ -553,7 +588,7 @@ impl Lane {
 
     /// One cycle of the triggered-instruction executor: each dataflow PE
     /// issues at most one ready instruction.
-    pub(crate) fn dpe_step(&mut self, now: u64) {
+    pub(crate) fn dpe_step(&mut self, now: u64, li: u8, trace: &mut Option<TraceRecorder>) {
         for dpe in 0..self.num_dpes {
             'instances: for inst in self.instances.iter_mut() {
                 for n in 0..inst.nodes.len() {
@@ -599,6 +634,9 @@ impl Lane {
             if !done || !fits {
                 blocked_regions.push(inst.region);
                 return true;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(TraceOp::RetireTemp { lane: li, region: inst.region as u8 });
             }
             for (p, v) in &inst.outputs {
                 if v.any_valid() {
@@ -794,11 +832,11 @@ mod tests {
         l.in_ports[4].bind_stream(RateFsm::ONCE);
         assert!(l.in_ports[4].push_word(3.0, false));
         assert!(l.in_ports[4].push_word(4.0, false));
-        l.fire_regions(0);
+        l.fire_regions(0, 0, &mut None);
         assert_eq!(l.fired_systolic, 1);
-        l.deliver_outputs(3);
+        l.deliver_outputs(3, 0, &mut None);
         assert_eq!(l.out_ports[0].occupancy(), 0, "latency 4 not yet reached");
-        l.deliver_outputs(4);
+        l.deliver_outputs(4, 0, &mut None);
         assert_eq!(l.out_ports[0].occupancy(), 1);
         assert_eq!(l.out_ports[0].pop_kept(), Some(-3.0));
         assert_eq!(l.out_ports[0].pop_kept(), Some(-4.0));
@@ -814,13 +852,13 @@ mod tests {
         for i in 0..8 {
             l.in_ports[4].push_word(i as f64, false);
         }
-        l.fire_regions(0);
+        l.fire_regions(0, 0, &mut None);
         assert_eq!(l.fired_systolic, 1);
         l.reset_cycle_flags();
-        l.fire_regions(1);
+        l.fire_regions(1, 0, &mut None);
         assert_eq!(l.fired_systolic, 0, "II=3 blocks cycle 1");
         l.reset_cycle_flags();
-        l.fire_regions(3);
+        l.fire_regions(3, 0, &mut None);
         assert_eq!(l.fired_systolic, 1);
     }
 
@@ -837,12 +875,12 @@ mod tests {
         l.apply_config(&[region], &[sched]);
         l.in_ports[5].bind_stream(RateFsm::ONCE);
         l.in_ports[5].push_word(4.0, false);
-        l.fire_regions(0);
+        l.fire_regions(0, 0, &mut None);
         assert_eq!(l.instances.len(), 1);
         // recip: 12 cycles, then mul: 4 cycles, 1 instr/cycle issue.
         let mut produced_at = None;
         for t in 0..40 {
-            l.dpe_step(t);
+            l.dpe_step(t, 0, &mut None);
             if l.out_ports[5].occupancy() > 0 && produced_at.is_none() {
                 produced_at = Some(t);
             }
@@ -871,8 +909,8 @@ mod tests {
             l.in_ports[0].push_word(i as f64, false);
         }
         l.in_ports[5].push_word(2.0, false);
-        l.fire_regions(0);
-        l.deliver_outputs(4);
+        l.fire_regions(0, 0, &mut None);
+        l.deliver_outputs(4, 0, &mut None);
         let mut outs = Vec::new();
         while let Some(v) = l.out_ports[0].pop_kept() {
             outs.push(v);
@@ -895,7 +933,7 @@ mod tests {
         lane_no_pred.in_ports[2].push_word(1.0, false);
         lane_no_pred.in_ports[2].push_word(2.0, false);
         lane_no_pred.in_ports[2].push_word(3.0, true);
-        lane_no_pred.fire_regions(0);
+        lane_no_pred.fire_regions(0, 0, &mut None);
         // next_fire should be 0 + 1 + (3-1) = 3.
         assert_eq!(lane_no_pred.regions[0].next_fire, 3);
     }
@@ -918,7 +956,7 @@ mod tests {
             body: StreamBody::Const { dst: 4, values: VecDeque::new() },
             seq: 0,
         });
-        l.fire_regions(0);
+        l.fire_regions(0, 0, &mut None);
         assert_eq!(l.fired_systolic, 0);
         assert!(l.dep_blocked);
     }

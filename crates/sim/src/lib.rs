@@ -62,6 +62,7 @@ mod memory;
 mod port;
 mod snapshot;
 mod stats;
+mod trace;
 
 pub use fault::{
     FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSnapshot, RunOutcome, FAULT_ALL,
@@ -83,3 +84,4 @@ pub use revel_prog::{
 };
 pub use snapshot::{DeadlockSnapshot, LaneSnapshot, RegionSnapshot};
 pub use stats::{CycleBreakdown, CycleClass, ObservableReport, RunReport, StepperStats};
+pub use trace::{ReplayError, TimingTrace, TraceOp};

@@ -93,6 +93,10 @@ pub enum SimError {
     /// (the vector holds *all* findings, warnings included, so callers
     /// can show the full picture). Disable via [`SimOptions::verify`].
     Verify(Vec<revel_verify::Diagnostic>),
+    /// A trace replay desynchronized from its recorded timing run, or a
+    /// timing trace was requested under perturbation (faults/degraded
+    /// fabric). See [`crate::TimingTrace`].
+    Replay(crate::trace::ReplayError),
 }
 
 impl fmt::Display for SimError {
@@ -109,6 +113,7 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::Replay(e) => write!(f, "replay error: {e}"),
         }
     }
 }
@@ -232,6 +237,9 @@ pub struct Machine {
     pub(crate) control: ControlCore,
     pub(crate) control_events: EventCounts,
     pub(crate) faults: FaultState,
+    /// Installed by [`Machine::run_traced`]; `None` keeps every record
+    /// site in the timing walk a no-op.
+    pub(crate) trace: Option<crate::trace::TraceRecorder>,
 }
 
 impl Machine {
@@ -245,6 +253,7 @@ impl Machine {
             control: ControlCore::default(),
             control_events: EventCounts::default(),
             faults: FaultState::default(),
+            trace: None,
             cfg,
         }
     }
@@ -364,7 +373,7 @@ impl Machine {
 
     /// Spatially compiles every configuration of `program`, memoized
     /// process-wide on (program name, lane config, region configs).
-    fn compiled_schedules(
+    pub(crate) fn compiled_schedules(
         &self,
         program: &RevelProgram,
     ) -> Result<Arc<Vec<Vec<RegionSchedule>>>, SimError> {

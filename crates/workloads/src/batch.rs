@@ -1,0 +1,332 @@
+//! Batched data-oblivious execution at the workload layer.
+//!
+//! A certified-oblivious program's cycle-by-cycle behaviour depends only
+//! on problem *sizes*, never on dataset *values* — so one cycle-accurate
+//! **timing walk** ([`record_timing`]) captures a [`TimingTrace`] that a
+//! cheap **functional replayer** ([`replay_trace`]) then applies to N
+//! same-shape datasets, skipping the per-cycle scheduling work entirely.
+//!
+//! The split is gated, not assumed: [`batch_replayable`] admits a kernel
+//! to the replay path only when the static obliviousness certifier
+//! ([`revel_verify::certify`]) proves the program's timing
+//! data-independent *and* the run is unperturbed (no fault plan, healthy
+//! fabric). Everything else falls back to full simulation. The replayer
+//! itself is checked — a program whose structure does depend on values
+//! desynchronizes into [`revel_sim::SimError::Replay`], never silence.
+//!
+//! Dataset extents are validated up front ([`validate_init`]) so a
+//! malformed batch request surfaces as a structured
+//! [`ProgramError::AddressOutOfBounds`] instead of a scratchpad panic
+//! inside the serving path's worker fence.
+
+use crate::suite::{apply_init, BuiltKernel, MemInit, WorkloadRun};
+use revel_compiler::BuildCfg;
+use revel_fabric::{FabricMask, RevelConfig};
+use revel_isa::MemTarget;
+use revel_sim::{Machine, ProgramError, ReplayError, SimError, SimOptions, TimingTrace};
+
+/// Checks that every initial-memory extent fits its scratchpad, so the
+/// replay path can trust `apply_init` never to panic on a caller-supplied
+/// dataset.
+///
+/// # Errors
+/// [`SimError::Program`] with [`ProgramError::AddressOutOfBounds`] naming
+/// the first offending word.
+pub fn validate_init(cfg: &RevelConfig, init: &[MemInit]) -> Result<(), SimError> {
+    let check = |lane: u8, target: MemTarget, addr: i64, len: usize, limit: usize| {
+        let in_range =
+            addr >= 0 && addr.checked_add(len as i64).is_some_and(|end| end <= limit as i64);
+        if !in_range {
+            // Report the first word outside the scratchpad, not the base.
+            let bad = if addr < 0 { addr } else { addr.max(limit as i64) };
+            return Err(SimError::Program(ProgramError::AddressOutOfBounds {
+                lane,
+                target,
+                addr: bad,
+                limit,
+            }));
+        }
+        Ok(())
+    };
+    for mi in init {
+        match mi {
+            MemInit::Private { lane, addr, data } => {
+                if *lane as usize >= cfg.num_lanes {
+                    return Err(SimError::Program(ProgramError::AddressOutOfBounds {
+                        lane: *lane,
+                        target: MemTarget::Private,
+                        addr: *addr,
+                        limit: 0,
+                    }));
+                }
+                check(*lane, MemTarget::Private, *addr, data.len(), cfg.lane.spad_words)?;
+            }
+            MemInit::Shared { addr, data } => {
+                check(0, MemTarget::Shared, *addr, data.len(), cfg.shared_spad_words)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True when `built` may take the batched replay path under `opts`: the
+/// obliviousness certifier proves the program's timing data-independent
+/// and the run is unperturbed. Fault injection and degraded fabrics
+/// change timing behind the certifier's back, so they always force the
+/// full simulator.
+pub fn batch_replayable(built: &BuiltKernel, cfg: &BuildCfg, opts: &SimOptions) -> bool {
+    opts.fault_plan.is_none()
+        && opts.fabric_mask == FabricMask::HEALTHY
+        && revel_verify::certify(&built.program, &cfg.machine_config()).is_ok()
+}
+
+/// The timing walk: runs `built` once on the full cycle-accurate
+/// simulator while recording every functional effect into a
+/// [`TimingTrace`]. The returned [`WorkloadRun`] is the ordinary result
+/// of that run (same verification rules as
+/// [`run_built_with`](crate::run_built_with)); the trace is the reusable
+/// artifact.
+///
+/// # Errors
+/// Propagates simulator errors, including the structured refusal when
+/// `opts` carries a fault plan or degraded fabric.
+pub fn record_timing(
+    built: &BuiltKernel,
+    cfg: &BuildCfg,
+    opts: SimOptions,
+) -> Result<(WorkloadRun, TimingTrace), SimError> {
+    let mut machine = Machine::new(cfg.machine_config(), opts);
+    validate_init(machine.config(), &built.init)?;
+    apply_init(&mut machine, &built.init);
+    let trace = machine.run_traced(&built.program)?;
+    let verified =
+        if trace.report.timed_out { Err("timed out".to_string()) } else { (built.check)(&machine) };
+    let oblivious = revel_verify::certify(&built.program, &cfg.machine_config()).is_ok();
+    let run = WorkloadRun {
+        cycles: trace.report.cycles,
+        report: trace.report.clone(),
+        verified,
+        oblivious,
+    };
+    Ok((run, trace))
+}
+
+/// The functional replayer: applies a previously recorded trace to a
+/// fresh machine holding `built`'s dataset, without re-running the
+/// cycle-accurate scheduler. Cycle counts and the full report come from
+/// the timing run (byte-identical by obliviousness); only the memory
+/// image and verification are dataset-specific. Returns the machine so
+/// callers can diff scratchpad images lane-by-lane.
+///
+/// # Errors
+/// [`SimError::Replay`] when the trace does not belong to this program,
+/// when dataset extents are invalid, or when replay desynchronizes (the
+/// checked-replay divergence detector).
+pub fn replay_trace(
+    built: &BuiltKernel,
+    cfg: &BuildCfg,
+    trace: &TimingTrace,
+) -> Result<(WorkloadRun, Machine), SimError> {
+    let mut machine = Machine::new(cfg.machine_config(), cfg.sim_options());
+    let run = replay_trace_on(&mut machine, built, trace)?;
+    Ok((run, machine))
+}
+
+/// [`replay_trace`] onto a caller-owned machine, so a batch amortizes one
+/// machine allocation across all its lanes (allocating scratchpads and
+/// fabric state per lane costs more than the replay itself). Reuse is
+/// sound because consecutive lanes replay the *same* trace: every store
+/// lands on the same addresses each lane, and `apply_init` rewrites the
+/// inputs, so no lane can observe a previous lane's data.
+///
+/// # Errors
+/// Same contract as [`replay_trace`].
+pub fn replay_trace_on(
+    machine: &mut Machine,
+    built: &BuiltKernel,
+    trace: &TimingTrace,
+) -> Result<WorkloadRun, SimError> {
+    if trace.program != built.program.name {
+        return Err(SimError::Replay(ReplayError {
+            op: 0,
+            message: format!(
+                "trace was recorded for program '{}', not '{}'",
+                trace.program, built.program.name
+            ),
+        }));
+    }
+    validate_init(machine.config(), &built.init)?;
+    apply_init(machine, &built.init);
+    machine.replay(&built.program, trace)?;
+    let verified = (built.check)(machine);
+    Ok(WorkloadRun {
+        cycles: trace.report.cycles,
+        report: trace.report.clone(),
+        verified,
+        oblivious: true,
+    })
+}
+
+/// The machine's complete memory image as raw bits — every lane's
+/// private scratchpad followed by the shared scratchpad — in one
+/// contiguous arena. Batched callers lay N of these side by side
+/// (structure-of-arrays over datasets) and compare lanes chunk-wise.
+pub fn memory_image(machine: &Machine) -> Vec<u64> {
+    let cfg = machine.config();
+    let words = cfg.lane.spad_words;
+    let mut image = Vec::with_capacity(cfg.num_lanes * words + cfg.shared_spad_words);
+    for l in 0..cfg.num_lanes {
+        image.extend(
+            machine.read_private(revel_isa::LaneId(l as u8), 0, words).iter().map(|v| v.to_bits()),
+        );
+    }
+    image.extend(machine.read_shared(0, cfg.shared_spad_words).iter().map(|v| v.to_bits()));
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_built_with, Workload};
+    use revel_isa::{
+        AffinePattern, ConfigId, InPortId, LaneId, LaneMask, OutPortId, RateFsm, StreamCommand,
+        VectorCommand,
+    };
+    use revel_sim::{ControlStep, DynBind, DynField, DynSrc, DynStep, FaultPlan, RevelProgram};
+
+    #[test]
+    fn validate_init_rejects_out_of_range_extents() {
+        let cfg = BuildCfg::revel(1).machine_config();
+        let spad = cfg.lane.spad_words;
+        let ok = vec![MemInit::Private { lane: 0, addr: 0, data: vec![1.0; spad] }];
+        validate_init(&cfg, &ok).expect("a full scratchpad fits");
+        let cases = vec![
+            MemInit::Private { lane: 0, addr: -1, data: vec![1.0] },
+            MemInit::Private { lane: 0, addr: 1, data: vec![1.0; spad] },
+            MemInit::Private { lane: 9, addr: 0, data: vec![1.0] },
+            MemInit::Shared { addr: cfg.shared_spad_words as i64, data: vec![1.0] },
+            MemInit::Private { lane: 0, addr: i64::MAX, data: vec![1.0; 2] },
+        ];
+        for bad in cases {
+            match validate_init(&cfg, std::slice::from_ref(&bad)) {
+                Err(SimError::Program(ProgramError::AddressOutOfBounds { .. })) => {}
+                other => panic!("{bad:?} must be a structured OOB error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_matches_full_simulation_across_seeds() {
+        // Record timing on the seed-1 dataset, replay on seed-2: the
+        // replayed image must be byte-identical to a full simulation of
+        // seed-2, and the report is shared with the timing run.
+        let cfg = BuildCfg::revel(1);
+        let w1 = crate::Fft::new(64, 1);
+        let w2 = crate::Fft::new(64, 2);
+        let b1 = w1.build(&cfg);
+        let b2 = w2.build(&cfg);
+        assert!(batch_replayable(&b1, &cfg, &cfg.sim_options()), "FFT certifies");
+
+        let (timing, trace) = record_timing(&b1, &cfg, cfg.sim_options()).expect("timing run");
+        timing.assert_ok("fft timing run");
+
+        let full = run_built_with(&b2, &cfg, cfg.sim_options()).expect("full sim");
+        full.assert_ok("fft full sim");
+        let mut full_m = Machine::new(cfg.machine_config(), cfg.sim_options());
+        apply_init(&mut full_m, &b2.init);
+        full_m.run(&b2.program).expect("full sim rerun");
+
+        let (replayed, machine) = replay_trace(&b2, &cfg, &trace).expect("replay");
+        replayed.assert_ok("fft replay");
+        assert_eq!(replayed.cycles, timing.cycles, "cycles come from the timing run");
+        assert_eq!(
+            replayed.report.canonical_text(),
+            timing.report.canonical_text(),
+            "report is the timing run's, byte for byte"
+        );
+        assert_eq!(
+            memory_image(&machine),
+            memory_image(&full_m),
+            "replayed memory image must be byte-identical to full simulation"
+        );
+    }
+
+    #[test]
+    fn mismatched_program_trace_is_refused() {
+        let cfg = BuildCfg::revel(1);
+        let w = crate::Fft::new(64, 1);
+        let built = w.build(&cfg);
+        let (_, trace) = record_timing(&built, &cfg, cfg.sim_options()).expect("timing run");
+        let other = crate::Solver::new(12, 1).build(&cfg);
+        match replay_trace(&other, &cfg, &trace) {
+            Err(SimError::Replay(e)) => {
+                assert!(e.message.contains("recorded for program"), "{e}");
+            }
+            other => panic!("cross-program replay must be refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perturbed_options_are_never_replayable() {
+        let cfg = BuildCfg::revel(1);
+        let built = crate::Fft::new(64, 1).build(&cfg);
+        let healthy = cfg.sim_options();
+        assert!(batch_replayable(&built, &cfg, &healthy));
+        let faulted =
+            SimOptions { fault_plan: Some(FaultPlan::new(7, 1, 1000)), ..cfg.sim_options() };
+        assert!(!batch_replayable(&built, &cfg, &faulted), "fault injection forces full sim");
+        let degraded = SimOptions {
+            fabric_mask: FabricMask { dead_pes: 1, dead_links: 0 },
+            ..cfg.sim_options()
+        };
+        assert!(!batch_replayable(&built, &cfg, &degraded), "degraded fabric forces full sim");
+    }
+
+    #[test]
+    fn uncertified_program_is_never_replayable() {
+        // A Dyn stream length read from the dataset: structurally
+        // value-dependent, so the certifier refuses and the gate holds.
+        let lane0 = LaneMask::single(LaneId(0));
+        let mut g = revel_dfg::Dfg::new("neg");
+        let a = g.input(InPortId(0));
+        let o = g.op(revel_dfg::OpCode::Neg, &[a]);
+        g.output(o, OutPortId(0));
+        let mut prog = RevelProgram::new("dyn-len");
+        let c = prog.add_config(vec![revel_dfg::Region::systolic("neg", g, 8)]);
+        prog.push(VectorCommand::broadcast(
+            lane0,
+            StreamCommand::Configure { config: ConfigId(c) },
+        ));
+        let bind =
+            DynBind { field: DynField::PatternLenI, src: DynSrc::Private { lane: 0, addr: 63 } };
+        prog.push_dyn(DynStep {
+            template: VectorCommand::broadcast(
+                lane0,
+                StreamCommand::load(
+                    MemTarget::Private,
+                    AffinePattern::linear(0, 8),
+                    InPortId(0),
+                    RateFsm::ONCE,
+                ),
+            ),
+            binds: vec![bind],
+        });
+        prog.push(VectorCommand::broadcast(lane0, StreamCommand::Wait));
+        let built = BuiltKernel {
+            program: prog,
+            init: vec![MemInit::Private { lane: 0, addr: 63, data: vec![8.0] }],
+            check: std::sync::Arc::new(|_| Ok(())),
+            lanes_used: 1,
+        };
+        let cfg = BuildCfg::revel(1);
+        assert!(
+            !batch_replayable(&built, &cfg, &cfg.sim_options()),
+            "value-dependent stream length must not be admitted to the replay path"
+        );
+
+        // ControlStep import is load-bearing for the assertion below.
+        let dyn_steps =
+            built.program.control.iter().filter(|s| matches!(s, ControlStep::Dyn(_))).count();
+        assert_eq!(dyn_steps, 1);
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod cholesky;
 pub mod data;
 pub mod depdist;
@@ -29,6 +30,9 @@ mod solver;
 mod suite;
 mod svd;
 
+pub use batch::{
+    batch_replayable, memory_image, record_timing, replay_trace, replay_trace_on, validate_init,
+};
 pub use cholesky::Cholesky;
 pub use fft::Fft;
 pub use fir::CentroFir;
