@@ -48,7 +48,10 @@
 //! `all_experiments` run, one server process, or one test binary every
 //! repeated configuration is a hit.
 
+pub mod persist;
+
 use crate::suite::{Bench, Comparison};
+use persist::{PersistedRun, PersistentTier, WarmStart};
 use revel_compiler::BuildCfg;
 use revel_fabric::FabricMask;
 use revel_sim::{FaultPlan, SimError, SimOptions, TimingTrace};
@@ -202,6 +205,17 @@ struct Engine {
     // of the full simulator. Stays zero for uncertified or perturbed
     // batches — the counter-delta proof that the replay gate holds.
     batched_replays: AtomicU64,
+    /// The optional disk tier ([`enable_persistence`]); `None` outside
+    /// server processes. Its own lock, never held while simulating.
+    disk: Mutex<Option<PersistentTier>>,
+    // Lookups served from the disk tier (a memory miss answered without
+    // simulating). Neither a hit nor a miss of the in-memory cache.
+    disk_hits: AtomicU64,
+    // Entries the disk tier recovered at [`enable_persistence`] time.
+    warm_start_entries: AtomicU64,
+    // Files (or file suffixes) the tier loader had to skip as corrupt —
+    // each one a structured cold start, never a panic.
+    disk_cold_starts: AtomicU64,
 }
 
 fn engine() -> &'static Engine {
@@ -220,6 +234,10 @@ fn engine() -> &'static Engine {
         deadline_fallbacks: AtomicU64::new(0),
         trace_hits: AtomicU64::new(0),
         batched_replays: AtomicU64::new(0),
+        disk: Mutex::new(None),
+        disk_hits: AtomicU64::new(0),
+        warm_start_entries: AtomicU64::new(0),
+        disk_cold_starts: AtomicU64::new(0),
     })
 }
 
@@ -435,9 +453,116 @@ pub(crate) fn run_cached_deadline(
             e.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
             claim.fulfilled = true;
             e.runs_done.notify_all();
+            // Every result admitted to the memory tier is also appended
+            // to the disk tier (when one is enabled): timed-out, faulted,
+            // and degraded runs can never get here, so disk entries are
+            // always completed, trustworthy runs. Best-effort — an I/O
+            // failure degrades persistence, never the request.
+            let mut disk = e.disk.lock().expect("disk tier lock");
+            if let Some(tier) = disk.as_mut() {
+                let _ = tier.append(key_fingerprint(bench, cfg, batch), &persisted_from(run));
+            }
         }
     }
     result
+}
+
+/// The 128-bit, process-independent fingerprint of one run-cache key —
+/// the same key shape the run cache uses, rendered stably and hashed
+/// with the disk tier's FNV-1a pair. The serving fleet routes requests by
+/// this fingerprint (consistent hashing keeps each shard's LRU disjoint),
+/// and the disk tier files results under it.
+pub fn key_fingerprint(bench: Bench, cfg: &BuildCfg, batch: bool) -> (u64, u64) {
+    let batch = batch && bench.batch_build_differs();
+    persist::fingerprint(&format!("{bench:?}|{cfg:?}|batch={batch}"))
+}
+
+fn persisted_from(run: &WorkloadRun) -> PersistedRun {
+    PersistedRun {
+        cycles: run.cycles,
+        commands_issued: run.report.commands_issued,
+        verified: run.verified.clone(),
+        canonical_text: run.report.canonical_text(),
+    }
+}
+
+/// Attaches a disk-backed persistence tier rooted at `dir` to the engine:
+/// every subsequent cacheable run is appended to the tier, and lookups
+/// that miss memory are answered from disk ([`run_served`]). Loads
+/// whatever the directory already holds — a restarted server warm-starts
+/// from its predecessor's results. Corrupt files surface as structured
+/// cold starts in the returned [`WarmStart`] (and in
+/// [`CacheStats::disk_cold_starts`]), never as a panic.
+///
+/// Calling again replaces the tier (tests use fresh directories); the
+/// warm-start counter is overwritten, the cold-start counter accumulates.
+///
+/// # Errors
+/// Propagates directory-creation and file-open failures.
+pub fn enable_persistence(dir: &std::path::Path) -> std::io::Result<WarmStart> {
+    let (tier, warm) = PersistentTier::open(dir)?;
+    let e = engine();
+    e.warm_start_entries.store(warm.entries as u64, Ordering::SeqCst);
+    e.disk_cold_starts.fetch_add(warm.cold_starts.len() as u64, Ordering::SeqCst);
+    *e.disk.lock().expect("disk tier lock") = Some(tier);
+    Ok(warm)
+}
+
+/// Compacts the disk tier into a fresh atomic snapshot (no-op when
+/// persistence is disabled). Servers call this on graceful shutdown so a
+/// restart loads one snapshot instead of replaying a long segment.
+///
+/// # Errors
+/// Propagates snapshot write/rename failures.
+pub fn persist_snapshot() -> std::io::Result<()> {
+    match engine().disk.lock().expect("disk tier lock").as_mut() {
+        Some(tier) => tier.snapshot(),
+        None => Ok(()),
+    }
+}
+
+/// A result served by [`run_served`]: either a live (or memory-cached)
+/// [`WorkloadRun`], or the persisted surface of a previous process's run,
+/// recovered from the disk tier without simulating.
+#[derive(Debug, Clone)]
+pub enum Served {
+    /// Simulated in this process (or served from the in-memory cache).
+    /// Boxed: a live run dwarfs the persisted summary, and callers on the
+    /// serving path immediately unbox it.
+    Run(Box<WorkloadRun>),
+    /// Served from the disk tier: the run completed in an earlier
+    /// process; only its persisted summary is available.
+    Disk(PersistedRun),
+}
+
+/// The cached-run lookup with the disk tier layered in: memory first,
+/// then disk ([`CacheStats::disk_hits`]), then simulation. A disk hit
+/// costs one index lookup — a restarted shard answers its first repeat
+/// requests from disk *before* its first simulation completes.
+///
+/// # Errors
+/// Propagates simulator errors (never cached).
+pub fn run_served(
+    bench: Bench,
+    cfg: &BuildCfg,
+    deadline: Option<Instant>,
+) -> Result<Served, SimError> {
+    let key = RunKey { bench, cfg: *cfg, batch: false };
+    let e = engine();
+    if let Some(run) = e.runs.lock().expect("run cache lock").get(&key) {
+        e.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Served::Run(Box::new(run)));
+    }
+    {
+        let disk = e.disk.lock().expect("disk tier lock");
+        if let Some(tier) = disk.as_ref() {
+            if let Some(run) = tier.lookup(key_fingerprint(bench, cfg, false)) {
+                e.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Served::Disk(run.clone()));
+            }
+        }
+    }
+    run_cached_deadline(bench, cfg, false, deadline).map(|run| Served::Run(Box::new(run)))
 }
 
 /// Runs `bench` under explicit [`SimOptions`], bypassing the run cache in
@@ -675,6 +800,15 @@ pub struct CacheStats {
     /// the full simulator. Zero for uncertified or perturbed batches — the
     /// counter-delta proof that the replay gate holds.
     pub batched_replays: u64,
+    /// Lookups that missed memory but were answered from the disk tier
+    /// without simulating. Neither a hit nor a miss of the memory cache.
+    pub disk_hits: u64,
+    /// Entries the disk tier recovered when persistence was enabled: the
+    /// size of the warm start a restarted server inherited.
+    pub warm_start_entries: u64,
+    /// Corrupt tier files (truncated, checksum-failed, or
+    /// version-mismatched) skipped as structured cold starts.
+    pub disk_cold_starts: u64,
 }
 
 impl CacheStats {
@@ -744,6 +878,9 @@ pub fn stats() -> CacheStats {
         deadline_fallbacks: e.deadline_fallbacks.load(Ordering::Relaxed),
         trace_hits: e.trace_hits.load(Ordering::Relaxed),
         batched_replays: e.batched_replays.load(Ordering::Relaxed),
+        disk_hits: e.disk_hits.load(Ordering::Relaxed),
+        warm_start_entries: e.warm_start_entries.load(Ordering::SeqCst),
+        disk_cold_starts: e.disk_cold_starts.load(Ordering::SeqCst),
     }
 }
 
@@ -1118,6 +1255,9 @@ mod tests {
             deadline_fallbacks: 0,
             trace_hits: 0,
             batched_replays: 0,
+            disk_hits: 0,
+            warm_start_entries: 0,
+            disk_cold_starts: 0,
         };
         assert_eq!(zero.hit_rate(), 0.0);
         let mixed = CacheStats { hits: 3, misses: 1, ..zero };

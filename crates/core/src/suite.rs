@@ -242,6 +242,23 @@ impl Bench {
         crate::engine::run_cached_deadline(*self, cfg, false, deadline)
     }
 
+    /// [`Bench::run_with_deadline`] with the engine's disk tier layered
+    /// in: memory cache first, then the persistent tier (when
+    /// [`crate::engine::enable_persistence`] is active), then simulation.
+    /// A disk hit returns the persisted result surface of a previous
+    /// process's run without simulating — the serving fleet's
+    /// warm-restart path.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn run_served(
+        &self,
+        cfg: &BuildCfg,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<crate::engine::Served, SimError> {
+        crate::engine::run_served(*self, cfg, deadline)
+    }
+
     /// [`Bench::run`] for the batch-semantics build (one independent
     /// problem per lane, Figure 20); shares cache entries with `run`
     /// whenever the batch build is identical.

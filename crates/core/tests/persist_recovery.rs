@@ -1,0 +1,118 @@
+//! End-to-end persistence through the engine: a run lands on disk, a
+//! (simulated) restart serves it back without re-simulating, and corrupt
+//! tier files degrade to counted cold starts — never panics.
+//!
+//! The disk tier is process-global state (like the engine caches), so
+//! the whole journey lives in one test: phases share the tier
+//! deliberately and in order.
+
+use revel_compiler::BuildCfg;
+use revel_core::engine::persist::{PersistedRun, PersistentTier};
+use revel_core::engine::{self, Served};
+use revel_core::workloads::run_workload_with;
+use revel_core::Bench;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("revel-engine-persist-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_tier_round_trips_warm_starts_and_survives_corruption() {
+    // Phase 1: a simulated run is appended to the tier.
+    let dir_a = tmp_dir("a");
+    let warm = engine::enable_persistence(&dir_a).expect("enable");
+    assert_eq!(warm.entries, 0, "fresh directory starts cold");
+    assert!(warm.cold_starts.is_empty());
+    let solver = Bench::Solver { n: 12 };
+    let cfg = BuildCfg::revel(1);
+    let served = solver.run_served(&cfg, None).expect("runs");
+    let solver_run = match served {
+        Served::Run(run) => run,
+        Served::Disk(_) => panic!("a cold key cannot be served from disk"),
+    };
+    engine::persist_snapshot().expect("snapshot");
+    // The snapshot is readable by a *new* tier instance (what a restarted
+    // process would open) and holds exactly the run's persisted surface.
+    let fp = engine::key_fingerprint(solver, &cfg, false);
+    let (tier, reopen) = PersistentTier::open(&dir_a).expect("reopen");
+    assert_eq!(reopen.entries, 1);
+    let entry = tier.lookup(fp).expect("the simulated run must be on disk");
+    assert_eq!(entry.cycles, solver_run.cycles);
+    assert_eq!(entry.commands_issued, solver_run.report.commands_issued);
+    assert_eq!(entry.canonical_text, solver_run.report.canonical_text());
+    drop(tier);
+
+    // Phase 2: warm restart. Pre-populate a fresh tier with a key this
+    // process has never put in the memory cache, then point the engine at
+    // it — the next request must be answered from disk, before any
+    // simulation, and counted as a disk hit (not a memory hit or miss).
+    let fft = Bench::Fft { n: 64 };
+    let fft_full =
+        run_workload_with(fft.workload().as_ref(), &cfg, cfg.sim_options()).expect("reference run");
+    let fft_fp = engine::key_fingerprint(fft, &cfg, false);
+    let dir_b = tmp_dir("b");
+    {
+        let (mut tier, _) = PersistentTier::open(&dir_b).expect("open b");
+        tier.append(
+            fft_fp,
+            &PersistedRun {
+                cycles: fft_full.cycles,
+                commands_issued: fft_full.report.commands_issued,
+                verified: fft_full.verified.clone(),
+                canonical_text: fft_full.report.canonical_text(),
+            },
+        )
+        .expect("append");
+    }
+    let warm = engine::enable_persistence(&dir_b).expect("re-enable");
+    assert_eq!(warm.entries, 1, "the predecessor's entry is recovered");
+    let before = engine::stats();
+    assert_eq!(before.warm_start_entries, 1);
+    let served = fft.run_served(&cfg, None).expect("served");
+    let after = engine::stats();
+    match served {
+        Served::Disk(run) => {
+            assert_eq!(run.cycles, fft_full.cycles, "disk must serve the true result");
+            assert!(run.verified.is_ok());
+            assert_eq!(run.canonical_text, fft_full.report.canonical_text());
+        }
+        Served::Run(_) => panic!("a warm-started key must be served from disk, not simulated"),
+    }
+    assert_eq!(after.disk_hits, before.disk_hits + 1, "the disk hit is counted");
+    assert_eq!(after.misses, before.misses, "a disk hit is not a memory miss");
+
+    // Phase 3: corruption degrades to a counted cold start.
+    let dir_c = tmp_dir("c");
+    fs::create_dir_all(&dir_c).expect("mkdir");
+    fs::write(dir_c.join("segment.log"), b"garbage, not a tier file").expect("write");
+    let warm = engine::enable_persistence(&dir_c).expect("corrupt tier still opens");
+    assert_eq!(warm.entries, 0, "nothing serveable from a corrupt segment");
+    assert_eq!(warm.cold_starts.len(), 1, "the corruption is surfaced as data");
+    let stats = engine::stats();
+    assert!(stats.disk_cold_starts >= 1, "cold starts are counted: {stats:?}");
+    // The engine still works — the corrupt tier just starts cold.
+    let served = fft.run_served(&cfg, None).expect("cold tier still serves");
+    assert!(matches!(served, Served::Run(_)), "nothing on disk, so the key simulates");
+
+    for dir in [dir_a, dir_b, dir_c] {
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn key_fingerprints_are_stable_and_distinct() {
+    let cfg = BuildCfg::revel(1);
+    let a = engine::key_fingerprint(Bench::Solver { n: 12 }, &cfg, false);
+    let b = engine::key_fingerprint(Bench::Solver { n: 12 }, &cfg, false);
+    assert_eq!(a, b, "same key, same fingerprint");
+    let c = engine::key_fingerprint(Bench::Solver { n: 16 }, &cfg, false);
+    assert_ne!(a, c, "different params, different fingerprint");
+    let d =
+        engine::key_fingerprint(Bench::Solver { n: 12 }, &BuildCfg::systolic_baseline(1), false);
+    assert_ne!(a, d, "different arch, different fingerprint");
+}

@@ -52,6 +52,7 @@ struct Args {
     assert_hit_rate: Option<f64>,
     assert_success_rate: Option<f64>,
     assert_trace_hits: Option<u64>,
+    assert_evictions: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +75,7 @@ fn parse_args() -> Args {
         assert_hit_rate: None,
         assert_success_rate: None,
         assert_trace_hits: None,
+        assert_evictions: None,
     };
     let mut host = "127.0.0.1".to_string();
     let mut port = 7411u16;
@@ -127,6 +129,9 @@ fn parse_args() -> Args {
             "--assert-trace-hits" => {
                 a.assert_trace_hits =
                     Some(parse(&val("--assert-trace-hits"), "--assert-trace-hits"));
+            }
+            "--assert-evictions" => {
+                a.assert_evictions = Some(parse(&val("--assert-evictions"), "--assert-evictions"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -232,13 +237,22 @@ fn main() {
 
     let d_hits = after.hits.saturating_sub(before.hits);
     let d_misses = after.misses.saturating_sub(before.misses);
+    let d_evictions = after.evictions.saturating_sub(before.evictions);
     let lookups = d_hits + d_misses;
     let hit_rate = if lookups == 0 { 0.0 } else { d_hits as f64 / lookups as f64 };
     println!(
         "  engine cache over this window: {d_hits} hit(s), {d_misses} miss(es) \
-         (hit rate {hit_rate:.3}); {} eviction(s) total",
+         (hit rate {hit_rate:.3}); {d_evictions} eviction(s) in window, {} total",
         after.evictions
     );
+    let d_disk_hits = after.disk_hits.saturating_sub(before.disk_hits);
+    if after.warm_start_entries > 0 || d_disk_hits > 0 {
+        println!(
+            "  persistent tier over this window: {d_disk_hits} disk hit(s); \
+             {} warm-start entr(ies), {} cold start(s) total",
+            after.warm_start_entries, after.disk_cold_starts
+        );
+    }
 
     // Batched requests are served by the timing-trace cache, not the run
     // cache, so their reuse shows up here rather than in the hit rate.
@@ -257,6 +271,13 @@ fn main() {
     if let Some(floor) = args.assert_trace_hits {
         if d_trace_hits < floor {
             gate_failures.push(format!("{d_trace_hits} trace hit(s) below floor {floor}"));
+        }
+    }
+    if let Some(floor) = args.assert_evictions {
+        // Pins eviction behavior against a deliberately small
+        // --cache-capacity server: the bounded cache must actually evict.
+        if d_evictions < floor {
+            gate_failures.push(format!("{d_evictions} eviction(s) below floor {floor}"));
         }
     }
     if let Some(ceil_ms) = args.assert_p99_ms {
@@ -514,7 +535,7 @@ fn usage(err: &str) -> ! {
          \x20                 [--retries N] [--backoff-base-ms MS] [--backoff-cap-ms MS]\n\
          \x20                 [--retry-seed SEED] [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
          \x20                 [--assert-p99-ms MS] [--assert-hit-rate F] [--assert-success-rate F]\n\
-         \x20                 [--assert-trace-hits N]"
+         \x20                 [--assert-trace-hits N] [--assert-evictions N]"
     );
     std::process::exit(2);
 }

@@ -67,6 +67,16 @@ impl Client {
         Ok(Client { writer, frames: FrameReader::new(stream), next_id: 1 })
     }
 
+    /// Sets the socket read timeout (a hang backstop — both directions of
+    /// the connection share the underlying socket). `None` blocks forever.
+    ///
+    /// # Errors
+    /// Propagates `set_read_timeout` I/O errors.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(dur)?;
+        Ok(())
+    }
+
     /// Sends one request and blocks for its response. The response `id`
     /// must echo the request's.
     ///

@@ -1,0 +1,148 @@
+//! Consistent-hash placement: the ring that maps cache-key fingerprints
+//! to shards.
+//!
+//! Each shard contributes [`VNODES`] virtual points, hashed from its id
+//! with the same process-stable FNV fingerprint the disk tier uses
+//! ([`revel_core::engine::persist::fingerprint`]). A key routes to the
+//! first point clockwise from its fingerprint. The construction is fully
+//! deterministic — every process that knows the alive-shard set computes
+//! the identical ring — and it carries the consistent-hashing guarantee:
+//! removing a shard reassigns *only* that shard's keys (to their next
+//! successors), everything else stays put. That is what makes a shard
+//! death survivable mid-replay: the surviving shards keep their hot
+//! caches, and the failed shard's keys fan out instead of the whole grid
+//! reshuffling.
+
+use revel_core::engine::persist::fingerprint;
+
+/// Virtual nodes per shard: enough that three shards split the keyspace
+/// within a few percent of evenly, cheap enough to rebuild on every
+/// liveness flip.
+pub const VNODES: usize = 64;
+
+/// The hash ring: sorted virtual points, each owned by a shard id.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point; ties broken by the sort (stable
+    /// because the build order is deterministic).
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds the ring over the given shard ids (typically the alive
+    /// set). The same id set always yields the same ring.
+    pub fn build(shards: &[usize]) -> Ring {
+        let mut points = Vec::with_capacity(shards.len() * VNODES);
+        for &shard in shards {
+            for vnode in 0..VNODES {
+                let (point, _) = fingerprint(&format!("shard-{shard}#vnode-{vnode}"));
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// True when no shard is placed (routing is impossible).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shard owning `fp`: the first virtual point at or clockwise
+    /// after it (wrapping).
+    pub fn route(&self, fp: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < fp) % self.points.len();
+        Some(self.points[idx].1)
+    }
+
+    /// Every distinct shard in ring order starting at `fp`'s owner: the
+    /// failover chain (owner first, then successors).
+    pub fn successors(&self, fp: u64) -> Vec<usize> {
+        let mut order = Vec::new();
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < fp);
+        for i in 0..self.points.len() {
+            let shard = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = Ring::build(&[0, 1, 2]);
+        let again = Ring::build(&[0, 1, 2]);
+        for i in 0..1000u64 {
+            let fp = fingerprint(&format!("key-{i}")).0;
+            let owner = ring.route(fp).expect("ring is non-empty");
+            assert!(owner < 3);
+            assert_eq!(again.route(fp), Some(owner), "same shard set, same ring");
+        }
+    }
+
+    #[test]
+    fn successors_cover_every_shard_once_owner_first() {
+        let ring = Ring::build(&[0, 1, 2, 3]);
+        let fp = fingerprint("some-key").0;
+        let order = ring.successors(fp);
+        assert_eq!(order.len(), 4, "every shard appears exactly once: {order:?}");
+        assert_eq!(order[0], ring.route(fp).expect("owner"));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn removing_a_shard_moves_only_its_keys() {
+        // The consistent-hashing property the fleet's failover story
+        // rests on: keys owned by surviving shards do not move when a
+        // shard dies.
+        let full = Ring::build(&[0, 1, 2]);
+        let without_one = Ring::build(&[0, 2]);
+        let mut moved = 0usize;
+        for i in 0..2000u64 {
+            let fp = fingerprint(&format!("cell-{i}")).0;
+            let before = full.route(fp).expect("full ring");
+            let after = without_one.route(fp).expect("reduced ring");
+            if before == 1 {
+                moved += 1;
+                assert_ne!(after, 1, "dead shard must not own keys");
+            } else {
+                assert_eq!(before, after, "surviving shards keep their keys");
+            }
+        }
+        assert!(moved > 0, "shard 1 owned some keys before it died");
+    }
+
+    #[test]
+    fn an_empty_ring_routes_nothing() {
+        let ring = Ring::build(&[]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+        assert!(ring.successors(42).is_empty());
+    }
+
+    #[test]
+    fn vnodes_spread_the_keyspace() {
+        let ring = Ring::build(&[0, 1, 2]);
+        let mut counts = [0usize; 3];
+        for i in 0..3000u64 {
+            counts[ring.route(fingerprint(&format!("k{i}")).0).expect("route")] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(n > 300, "shard {shard} owns a starved slice: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The fleet router: forwards work-plane requests to the shard that owns
+//! their cache key, failing over along ring successors.
+
+use super::placement::Ring;
+use crate::client::Client;
+use crate::protocol::{EngineStatsWire, Request, Response, ScheduleStatsWire, ShardStatsWire};
+use revel_bench::grid;
+use revel_core::engine;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Duration;
+
+/// Read-timeout backstop on forwarded requests: generous enough for a
+/// cold simulation of the largest grid cell, tight enough that a hung
+/// shard eventually fails over instead of wedging a router worker.
+const FORWARD_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Read timeout for control-plane fan-out (stats, shutdown): these are
+/// answered inline by shards, so seconds means the shard is gone.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Retry hint attached to `fleet_unavailable`: roughly the supervisor's
+/// detect-and-respawn latency.
+const UNAVAILABLE_RETRY_MS: u64 = 50;
+
+/// One shard as the router sees it: address, liveness, routing counters,
+/// and a pool of idle connections.
+struct ShardHandle {
+    id: usize,
+    port: u16,
+    addr: String,
+    /// Routable: the process answered a health probe and has not failed
+    /// a forward since. Flipped by the router (on transport failure) and
+    /// the supervisor (on death/respawn); every flip rebuilds the ring.
+    alive: AtomicBool,
+    /// Requests forwarded to this shard and answered.
+    routed: AtomicU64,
+    /// Forward attempts against this shard that failed (connect or
+    /// transport), each causing a failover to the next successor.
+    failed: AtomicU64,
+    /// Idle connections, reused across forwards (a dead shard's pool is
+    /// discarded when it is marked down).
+    pool: Mutex<Vec<Client>>,
+}
+
+/// The shard fleet: the routing table the frontend server forwards
+/// through. Liveness flips rebuild the consistent-hash ring over the
+/// alive set; all methods are callable from any worker thread.
+pub struct Fleet {
+    shards: Vec<ShardHandle>,
+    ring: RwLock<Ring>,
+    /// Round-robin cursor for unkeyed requests (`sleep`).
+    rr: AtomicUsize,
+}
+
+impl Fleet {
+    /// Builds the routing table for shards `0..count` listening on
+    /// `host:ports[i]`. Every shard starts **down** — the supervisor's
+    /// health probe marks it up once the process answers.
+    pub fn new(host: &str, ports: &[u16]) -> Fleet {
+        let shards = ports
+            .iter()
+            .enumerate()
+            .map(|(id, &port)| ShardHandle {
+                id,
+                port,
+                addr: format!("{host}:{port}"),
+                alive: AtomicBool::new(false),
+                routed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                pool: Mutex::new(Vec::new()),
+            })
+            .collect();
+        Fleet { shards, ring: RwLock::new(Ring::default()), rr: AtomicUsize::new(0) }
+    }
+
+    /// Number of shards in the roster (alive or not).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True for a fleet with no shards at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The port shard `id` listens on.
+    pub fn shard_port(&self, id: usize) -> Option<u16> {
+        self.shards.get(id).map(|s| s.port)
+    }
+
+    /// True while shard `id` is routable.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.shards.get(id).is_some_and(|s| s.alive.load(Ordering::SeqCst))
+    }
+
+    /// Currently routable shards.
+    pub fn alive_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)).count()
+    }
+
+    /// Blocks until at least `n` shards are routable or `timeout`
+    /// elapses; returns whether the quorum was reached.
+    pub fn wait_alive(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.alive_count() >= n {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Marks a shard routable (supervisor, after a successful health
+    /// probe) and rebalances the ring to include it.
+    pub fn mark_up(&self, id: usize) {
+        let Some(shard) = self.shards.get(id) else { return };
+        if !shard.alive.swap(true, Ordering::SeqCst) {
+            self.rebuild_ring();
+        }
+    }
+
+    /// Marks a shard unroutable (transport failure or process death),
+    /// discards its pooled connections, and rebalances the ring so its
+    /// keys fail over to their successors.
+    pub fn mark_down(&self, id: usize) {
+        let Some(shard) = self.shards.get(id) else { return };
+        if shard.alive.swap(false, Ordering::SeqCst) {
+            shard.pool.lock().expect("shard pool lock").clear();
+            self.rebuild_ring();
+        }
+    }
+
+    fn rebuild_ring(&self) {
+        let alive: Vec<usize> =
+            self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)).map(|s| s.id).collect();
+        *self.ring.write().expect("ring lock") = Ring::build(&alive);
+    }
+
+    /// Forwards one work-plane request to the shard owning its cache-key
+    /// fingerprint, failing over along ring successors. When no shard
+    /// answers, the caller gets a retryable `fleet_unavailable` error —
+    /// the supervisor's respawn is the recovery path.
+    pub fn forward(&self, req: &Request) -> Response {
+        for id in self.candidates(req) {
+            if let Some(resp) = self.try_forward(&self.shards[id], req, FORWARD_TIMEOUT) {
+                return resp;
+            }
+        }
+        Response::Error {
+            kind: "fleet_unavailable".to_string(),
+            message: "no shard could serve the request".to_string(),
+            retry_after_ms: Some(UNAVAILABLE_RETRY_MS),
+        }
+    }
+
+    /// The failover chain for a request: ring successors for keyed ops,
+    /// round-robin over the alive set for unkeyed ones.
+    fn candidates(&self, req: &Request) -> Vec<usize> {
+        if let Some(fp) = route_fingerprint(req) {
+            return self.ring.read().expect("ring lock").successors(fp);
+        }
+        let alive: Vec<usize> =
+            self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)).map(|s| s.id).collect();
+        if alive.is_empty() {
+            return alive;
+        }
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % alive.len();
+        let mut order = alive[start..].to_vec();
+        order.extend_from_slice(&alive[..start]);
+        order
+    }
+
+    /// One forward attempt against one shard; `None` means the shard
+    /// failed at the transport level (and was marked down — protocol-level
+    /// errors from a live shard are real answers and returned as-is).
+    fn try_forward(
+        &self,
+        shard: &ShardHandle,
+        req: &Request,
+        timeout: Duration,
+    ) -> Option<Response> {
+        let pooled = shard.pool.lock().expect("shard pool lock").pop();
+        let mut client = match pooled {
+            Some(c) => c,
+            None => match Client::connect(&shard.addr) {
+                Ok(c) => {
+                    let _ = c.set_read_timeout(Some(timeout));
+                    c
+                }
+                Err(_) => {
+                    shard.failed.fetch_add(1, Ordering::Relaxed);
+                    self.mark_down(shard.id);
+                    return None;
+                }
+            },
+        };
+        match client.request(req) {
+            Ok(resp) => {
+                shard.routed.fetch_add(1, Ordering::Relaxed);
+                shard.pool.lock().expect("shard pool lock").push(client);
+                Some(resp)
+            }
+            Err(_) => {
+                shard.failed.fetch_add(1, Ordering::Relaxed);
+                self.mark_down(shard.id);
+                None
+            }
+        }
+    }
+
+    /// The `fleet_stats` roster: one row per shard, dead or alive.
+    pub fn roster(&self) -> Vec<ShardStatsWire> {
+        self.shards
+            .iter()
+            .map(|s| ShardStatsWire {
+                shard: s.id as u64,
+                port: u64::from(s.port),
+                alive: s.alive.load(Ordering::SeqCst),
+                routed: s.routed.load(Ordering::Relaxed),
+                failed: s.failed.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Sums engine and schedule counters across every alive shard, so a
+    /// client's stats window works against a fleet exactly as it does
+    /// against one server. `None` when no shard answered. (A respawned
+    /// shard restarts its counters; fleet-wide sums are therefore
+    /// monotonic only while the roster is stable — clients clamp their
+    /// window deltas.)
+    pub fn aggregate_stats(&self) -> Option<(EngineStatsWire, ScheduleStatsWire)> {
+        let mut engine_sum: Option<EngineStatsWire> = None;
+        let mut sched_sum = ScheduleStatsWire { hits: 0, misses: 0, entries: 0 };
+        for shard in self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)) {
+            let Some(Response::Stats { engine, schedule, .. }) =
+                self.try_forward(shard, &Request::Stats, CONTROL_TIMEOUT)
+            else {
+                continue;
+            };
+            engine_sum = Some(match engine_sum {
+                None => engine,
+                Some(acc) => add_engine(acc, engine),
+            });
+            sched_sum.hits += schedule.hits;
+            sched_sum.misses += schedule.misses;
+            sched_sum.entries += schedule.entries;
+        }
+        engine_sum.map(|e| (e, sched_sum))
+    }
+
+    /// Asks every alive shard to shut down gracefully (the supervisor
+    /// then waits for the processes to exit).
+    pub fn shutdown_shards(&self) {
+        for shard in self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)) {
+            let _ = self.try_forward(shard, &Request::Shutdown, CONTROL_TIMEOUT);
+        }
+    }
+}
+
+fn add_engine(a: EngineStatsWire, b: EngineStatsWire) -> EngineStatsWire {
+    EngineStatsWire {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        evictions: a.evictions + b.evictions,
+        capacity: a.capacity + b.capacity,
+        run_entries: a.run_entries + b.run_entries,
+        lint_entries: a.lint_entries + b.lint_entries,
+        sim_cycles: a.sim_cycles + b.sim_cycles,
+        skipped_cycles: a.skipped_cycles + b.skipped_cycles,
+        fault_bypasses: a.fault_bypasses + b.fault_bypasses,
+        oblivious_entries: a.oblivious_entries + b.oblivious_entries,
+        deadline_fallbacks: a.deadline_fallbacks + b.deadline_fallbacks,
+        trace_hits: a.trace_hits + b.trace_hits,
+        batched_replays: a.batched_replays + b.batched_replays,
+        disk_hits: a.disk_hits + b.disk_hits,
+        warm_start_entries: a.warm_start_entries + b.warm_start_entries,
+        disk_cold_starts: a.disk_cold_starts + b.disk_cold_starts,
+    }
+}
+
+/// The routing key for a request: the low word of the engine's cache-key
+/// fingerprint for resolvable cells (so routing agrees exactly with what
+/// the shard will cache), a stable string fingerprint for unresolvable
+/// ones (repeated probes of a bad cell still land on one shard), `None`
+/// for unkeyed ops (`sleep`), which round-robin.
+pub fn route_fingerprint(req: &Request) -> Option<u64> {
+    match req {
+        Request::Simulate { bench, params, arch, .. } => {
+            Some(cell_fingerprint(bench, params, arch))
+        }
+        Request::SimulateBatch { bench, params, arch, .. } => {
+            Some(cell_fingerprint(bench, params, arch))
+        }
+        Request::Lint { bench, params, arch } => Some(cell_fingerprint(bench, params, arch)),
+        Request::Compare { bench, params } => Some(cell_fingerprint(bench, params, "revel")),
+        _ => None,
+    }
+}
+
+/// Batch and non-batch requests for one cell share a fingerprint (the
+/// engine's trace cache makes them reinforce each other on one shard).
+fn cell_fingerprint(bench: &str, params: &str, arch: &str) -> u64 {
+    match grid::resolve(bench, params, arch) {
+        Some((b, cfg)) => engine::key_fingerprint(b, &cfg, false).0,
+        None => engine::persist::fingerprint(&format!("{bench}|{params}|{arch}")).0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulate_req(bench: &str, params: &str) -> Request {
+        Request::Simulate {
+            bench: bench.to_string(),
+            params: params.to_string(),
+            arch: "revel".to_string(),
+            deadline_ms: None,
+            max_cycles: None,
+            reference_stepper: false,
+            fault_seed: None,
+            fault_count: None,
+            fault_window: None,
+        }
+    }
+
+    #[test]
+    fn keyed_requests_share_a_fingerprint_across_ops() {
+        let sim = route_fingerprint(&simulate_req("fft", "n=64")).expect("keyed");
+        let lint = route_fingerprint(&Request::Lint {
+            bench: "fft".to_string(),
+            params: "n=64".to_string(),
+            arch: "revel".to_string(),
+        })
+        .expect("keyed");
+        assert_eq!(sim, lint, "lint co-locates with the runs it lints");
+        let other = route_fingerprint(&simulate_req("fft", "n=256")).expect("keyed");
+        assert_ne!(sim, other, "different cells, different keys");
+        assert_eq!(route_fingerprint(&Request::Sleep { ms: 1 }), None, "sleep is unkeyed");
+    }
+
+    #[test]
+    fn unresolvable_cells_still_route_stably() {
+        let a = route_fingerprint(&simulate_req("no-such-bench", "n=1")).expect("keyed");
+        let b = route_fingerprint(&simulate_req("no-such-bench", "n=1")).expect("keyed");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_fleet_with_no_live_shards_answers_fleet_unavailable() {
+        let fleet = Fleet::new("127.0.0.1", &[1, 2, 3]);
+        assert_eq!(fleet.alive_count(), 0);
+        let resp = fleet.forward(&simulate_req("fft", "n=64"));
+        match &resp {
+            Response::Error { kind, retry_after_ms, .. } => {
+                assert_eq!(kind, "fleet_unavailable");
+                assert!(retry_after_ms.is_some(), "the error carries a backoff hint");
+            }
+            other => panic!("expected fleet_unavailable, got {other:?}"),
+        }
+        assert!(resp.is_retryable(), "fleet_unavailable is transient by contract");
+    }
+
+    #[test]
+    fn liveness_flips_rebalance_the_ring() {
+        let fleet = Fleet::new("127.0.0.1", &[1, 2, 3]);
+        fleet.mark_up(0);
+        fleet.mark_up(1);
+        fleet.mark_up(2);
+        let fp = route_fingerprint(&simulate_req("fft", "n=64")).expect("keyed");
+        let owner = fleet.ring.read().expect("ring").route(fp).expect("route");
+        fleet.mark_down(owner);
+        let next = fleet.ring.read().expect("ring").route(fp).expect("route");
+        assert_ne!(next, owner, "the dead shard's keys fail over");
+        fleet.mark_up(owner);
+        let back = fleet.ring.read().expect("ring").route(fp).expect("route");
+        assert_eq!(back, owner, "a respawned shard reclaims its keys");
+    }
+}

@@ -1,0 +1,227 @@
+//! The shard supervisor: spawns the worker processes, probes them
+//! healthy, respawns the dead, and tears the fleet down gracefully.
+
+use super::router::Fleet;
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervisor sweep interval: how quickly a dead shard is noticed.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Minimum gap between spawns of one shard (keeps a crash-looping shard
+/// from burning a core).
+const RESPAWN_BACKOFF: Duration = Duration::from_millis(500);
+
+/// Read timeout on health probes of a freshly spawned shard.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long a graceful fleet shutdown waits for a shard process before
+/// killing it.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a fleet's worker shards are spawned.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Host shards bind to (and the router dials), normally loopback.
+    pub host: String,
+    /// Shard `i` listens on `base_port + 1 + i` (the router itself owns
+    /// `base_port`).
+    pub base_port: u16,
+    /// Worker threads per shard (0 = one per core).
+    pub workers: usize,
+    /// Bounded-queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Root of the persistent cache; shard `i` gets `<dir>/shard-i`.
+    /// `None` disables the disk tier.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Memory-cache capacity per shard (`None` keeps the default).
+    pub cache_capacity: Option<usize>,
+    /// Chaos rate forwarded to each shard (the router runs chaos-free;
+    /// faults belong where work executes).
+    pub chaos_rate: f64,
+    /// Chaos seed base; shard `i` gets `chaos_seed + i`.
+    pub chaos_seed: u64,
+    /// The `revel_serve` binary to spawn (the router passes its own
+    /// `current_exe`; tests pass `CARGO_BIN_EXE_revel_serve`).
+    pub binary: PathBuf,
+}
+
+impl FleetConfig {
+    /// The port shard `id` listens on.
+    pub fn shard_port(&self, id: usize) -> u16 {
+        self.base_port + 1 + id as u16
+    }
+
+    /// The ports of every shard, in id order.
+    pub fn shard_ports(&self) -> Vec<u16> {
+        (0..self.shards).map(|id| self.shard_port(id)).collect()
+    }
+}
+
+struct ShardProcess {
+    id: usize,
+    child: Option<Child>,
+    last_spawn: Instant,
+}
+
+struct Inner {
+    cfg: FleetConfig,
+    procs: Mutex<Vec<ShardProcess>>,
+    stop: AtomicBool,
+}
+
+/// Owns the shard processes. [`Supervisor::start`] spawns them plus a
+/// monitor thread that probes each shard healthy (flipping it routable in
+/// the [`Fleet`]), notices deaths, and respawns — a respawned shard
+/// warm-starts from its persistent tier and reclaims its ring slice once
+/// it answers a probe. [`Supervisor::shutdown`] drains the fleet.
+pub struct Supervisor {
+    fleet: Arc<Fleet>,
+    inner: Arc<Inner>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawns every shard process and the monitor thread.
+    ///
+    /// # Errors
+    /// Propagates spawn failures of the initial shard set (later respawn
+    /// failures are retried on the next sweep instead).
+    pub fn start(fleet: Arc<Fleet>, cfg: FleetConfig) -> std::io::Result<Supervisor> {
+        let mut procs = Vec::with_capacity(cfg.shards);
+        for id in 0..cfg.shards {
+            let child = spawn_shard(&cfg, id)?;
+            procs.push(ShardProcess { id, child: Some(child), last_spawn: Instant::now() });
+        }
+        let inner = Arc::new(Inner { cfg, procs: Mutex::new(procs), stop: AtomicBool::new(false) });
+        let monitor = {
+            let fleet = Arc::clone(&fleet);
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                while !inner.stop.load(Ordering::SeqCst) {
+                    sweep(&fleet, &inner);
+                    std::thread::sleep(TICK);
+                }
+            })
+        };
+        Ok(Supervisor { fleet, inner, monitor: Some(monitor) })
+    }
+
+    /// SIGKILLs shard `id` (no drain, no flush — the failure the fleet is
+    /// built to survive). Returns false when the shard has no live
+    /// process. The monitor notices and respawns after its backoff.
+    pub fn kill_shard(&self, id: usize) -> bool {
+        let mut procs = self.inner.procs.lock().expect("procs lock");
+        let Some(proc_) = procs.iter_mut().find(|p| p.id == id) else { return false };
+        let Some(mut child) = proc_.child.take() else { return false };
+        let _ = child.kill();
+        let _ = child.wait();
+        self.fleet.mark_down(id);
+        true
+    }
+
+    /// Graceful teardown: stop the monitor, ask every live shard to
+    /// drain via the protocol's `shutdown` op, wait bounded, then kill
+    /// stragglers.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        self.fleet.shutdown_shards();
+        let mut procs = self.inner.procs.lock().expect("procs lock");
+        for proc_ in procs.iter_mut() {
+            let Some(mut child) = proc_.child.take() else { continue };
+            let deadline = Instant::now() + DRAIN_TIMEOUT;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+            self.fleet.mark_down(proc_.id);
+        }
+    }
+}
+
+/// One monitor pass: reap deaths, respawn (rate-limited), probe
+/// not-yet-routable shards healthy.
+fn sweep(fleet: &Fleet, inner: &Inner) {
+    let mut procs = inner.procs.lock().expect("procs lock");
+    for proc_ in procs.iter_mut() {
+        if let Some(child) = &mut proc_.child {
+            if let Ok(Some(status)) = child.try_wait() {
+                eprintln!("revel-serve: shard {} exited ({status}); respawning", proc_.id);
+                proc_.child = None;
+                fleet.mark_down(proc_.id);
+            }
+        }
+        if proc_.child.is_none() && proc_.last_spawn.elapsed() >= RESPAWN_BACKOFF {
+            match spawn_shard(&inner.cfg, proc_.id) {
+                Ok(child) => {
+                    proc_.child = Some(child);
+                    proc_.last_spawn = Instant::now();
+                }
+                Err(e) => {
+                    eprintln!("revel-serve: shard {} respawn failed: {e}", proc_.id);
+                    proc_.last_spawn = Instant::now();
+                }
+            }
+        }
+        if proc_.child.is_some() && !fleet.is_alive(proc_.id) && probe(inner, proc_.id) {
+            fleet.mark_up(proc_.id);
+        }
+    }
+}
+
+/// One health probe: connect and ask; any structured answer means the
+/// shard is serving.
+fn probe(inner: &Inner, id: usize) -> bool {
+    let addr = format!("{}:{}", inner.cfg.host, inner.cfg.shard_port(id));
+    let Ok(mut client) = Client::connect(&addr) else { return false };
+    let _ = client.set_read_timeout(Some(PROBE_TIMEOUT));
+    matches!(client.request(&Request::Health), Ok(Response::Health { .. }))
+}
+
+fn spawn_shard(cfg: &FleetConfig, id: usize) -> std::io::Result<Child> {
+    let mut cmd = Command::new(&cfg.binary);
+    cmd.arg("--host")
+        .arg(&cfg.host)
+        .arg("--port")
+        .arg(cfg.shard_port(id).to_string())
+        .arg("--workers")
+        .arg(cfg.workers.to_string())
+        .arg("--queue")
+        .arg(cfg.queue_capacity.to_string())
+        .arg("--shard-id")
+        .arg(id.to_string());
+    if let Some(dir) = &cfg.snapshot_dir {
+        cmd.arg("--snapshot-dir").arg(dir.join(format!("shard-{id}")));
+    }
+    if let Some(cap) = cfg.cache_capacity {
+        cmd.arg("--cache-capacity").arg(cap.to_string());
+    }
+    if cfg.chaos_rate > 0.0 {
+        cmd.arg("--chaos")
+            .arg(cfg.chaos_rate.to_string())
+            .arg("--chaos-seed")
+            .arg((cfg.chaos_seed + id as u64).to_string());
+    }
+    // Shard diagnostics ride the router's stderr; stdout stays quiet.
+    cmd.stdout(Stdio::null()).stderr(Stdio::inherit()).stdin(Stdio::null());
+    cmd.spawn()
+}

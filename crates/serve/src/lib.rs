@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod json;
 pub mod probe;
 pub mod protocol;

@@ -21,6 +21,9 @@ pub enum Request {
     Health,
     /// Counter snapshot (engine cache, schedule cache, server); inline.
     Stats,
+    /// Per-shard fleet topology and routing counters; inline. A
+    /// single-shard server answers with a one-entry roster for itself.
+    FleetStats,
     /// Begin graceful shutdown: drain in-flight work, then exit; inline.
     Shutdown,
     /// Diagnostic: hold a worker for `ms` milliseconds (deterministic
@@ -127,6 +130,31 @@ pub struct EngineStatsWire {
     /// Per-dataset functional replays performed by batched runs. Decoded
     /// as 0 from legacy frames.
     pub batched_replays: u64,
+    /// Lookups answered from the persistent disk tier (memory miss, no
+    /// simulation). Decoded as 0 from legacy frames.
+    pub disk_hits: u64,
+    /// Entries the disk tier recovered at startup (the warm start a
+    /// restarted shard inherited). Decoded as 0 from legacy frames.
+    pub warm_start_entries: u64,
+    /// Corrupt tier files skipped as structured cold starts. Decoded as 0
+    /// from legacy frames.
+    pub disk_cold_starts: u64,
+}
+
+/// One shard's row in a `fleet_stats` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatsWire {
+    /// Shard id (stable across respawns; also reported by the shard's
+    /// own `health` op).
+    pub shard: u64,
+    /// TCP port the shard listens on.
+    pub port: u64,
+    /// True while the shard is routable (process alive and answering).
+    pub alive: bool,
+    /// Requests the router forwarded to this shard.
+    pub routed: u64,
+    /// Forward attempts that failed over to another shard.
+    pub failed: u64,
 }
 
 /// Schedule-cache counters on the wire (mirrors
@@ -165,6 +193,17 @@ pub enum Response {
         workers: u64,
         /// Bounded-queue capacity.
         queue_capacity: u64,
+        /// Jobs admitted but not yet popped by a worker (the backlog the
+        /// reported `retry_after_ms` hints derive from). Decoded as 0
+        /// from legacy frames.
+        queue_depth: u64,
+        /// Connections currently held by the event loop. Decoded as 0
+        /// from legacy frames.
+        active_connections: u64,
+        /// This process's shard id, when it runs as a fleet shard
+        /// (`--shard-id`); absent (and omitted from the wire) for a
+        /// standalone server or the fleet frontend.
+        shard_id: Option<u64>,
     },
     /// Counter snapshot.
     Stats {
@@ -177,6 +216,12 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
+    /// The fleet roster: one row per shard (single-shard servers answer
+    /// for themselves).
+    FleetStats {
+        /// Per-shard topology and routing counters.
+        shards: Vec<ShardStatsWire>,
+    },
     /// Sleep diagnostic completed.
     Slept {
         /// Milliseconds held.
@@ -284,7 +329,9 @@ impl Response {
     pub fn is_retryable(&self) -> bool {
         match self {
             Response::Overloaded { .. } => true,
-            Response::Error { kind, .. } => kind == "injected_fault" || kind == "shutting_down",
+            Response::Error { kind, .. } => {
+                kind == "injected_fault" || kind == "shutting_down" || kind == "fleet_unavailable"
+            }
             _ => false,
         }
     }
@@ -352,6 +399,7 @@ pub fn encode_request(id: u64, req: &Request) -> String {
     match req {
         Request::Health => op("health"),
         Request::Stats => op("stats"),
+        Request::FleetStats => op("fleet_stats"),
         Request::Shutdown => op("shutdown"),
         Request::Sleep { ms } => {
             op("sleep");
@@ -434,6 +482,7 @@ pub fn decode_request(line: &str) -> Result<(u64, Request), ProtoError> {
     let req = match op.as_str() {
         "health" => Request::Health,
         "stats" => Request::Stats,
+        "fleet_stats" => Request::FleetStats,
         "shutdown" => Request::Shutdown,
         "sleep" => Request::Sleep { ms: req_u64(&v, "ms")? },
         "simulate" => Request::Simulate {
@@ -481,10 +530,17 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
     let mut fields = vec![("id".to_string(), Value::u64(id))];
     let mut kind = |name: &str| fields.push(("type".to_string(), Value::str(name)));
     match resp {
-        Response::Health { workers, queue_capacity } => {
+        Response::Health { workers, queue_capacity, queue_depth, active_connections, shard_id } => {
             kind("health");
             fields.push(("workers".to_string(), Value::u64(*workers)));
             fields.push(("queue_capacity".to_string(), Value::u64(*queue_capacity)));
+            fields.push(("queue_depth".to_string(), Value::u64(*queue_depth)));
+            fields.push(("active_connections".to_string(), Value::u64(*active_connections)));
+            // Omitted when absent, so standalone servers and the fleet
+            // frontend stay shard-free on the wire.
+            if let Some(s) = shard_id {
+                fields.push(("shard_id".to_string(), Value::u64(*s)));
+            }
         }
         Response::Stats { engine, schedule, server } => {
             kind("stats");
@@ -504,6 +560,9 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                     ("deadline_fallbacks", engine.deadline_fallbacks),
                     ("trace_hits", engine.trace_hits),
                     ("batched_replays", engine.batched_replays),
+                    ("disk_hits", engine.disk_hits),
+                    ("warm_start_entries", engine.warm_start_entries),
+                    ("disk_cold_starts", engine.disk_cold_starts),
                 ]),
             ));
             fields.push((
@@ -526,6 +585,26 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
             ));
         }
         Response::ShuttingDown => kind("shutting_down"),
+        Response::FleetStats { shards } => {
+            kind("fleet_stats");
+            fields.push((
+                "shards".to_string(),
+                Value::Arr(
+                    shards
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("shard".to_string(), Value::u64(s.shard)),
+                                ("port".to_string(), Value::u64(s.port)),
+                                ("alive".to_string(), Value::Bool(s.alive)),
+                                ("routed".to_string(), Value::u64(s.routed)),
+                                ("failed".to_string(), Value::u64(s.failed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         Response::Slept { ms } => {
             kind("slept");
             fields.push(("ms".to_string(), Value::u64(*ms)));
@@ -620,6 +699,11 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
         "health" => Response::Health {
             workers: req_u64(&v, "workers")?,
             queue_capacity: req_u64(&v, "queue_capacity")?,
+            // Fleet-era fields: optional on decode so legacy health
+            // frames stay decodable.
+            queue_depth: opt_u64(&v, "queue_depth")?.unwrap_or(0),
+            active_connections: opt_u64(&v, "active_connections")?.unwrap_or(0),
+            shard_id: opt_u64(&v, "shard_id")?,
         },
         "stats" => {
             let e = wire_counters(
@@ -644,6 +728,9 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
             let deadline_fallbacks = opt_u64(eng, "deadline_fallbacks")?.unwrap_or(0);
             let trace_hits = opt_u64(eng, "trace_hits")?.unwrap_or(0);
             let batched_replays = opt_u64(eng, "batched_replays")?.unwrap_or(0);
+            let disk_hits = opt_u64(eng, "disk_hits")?.unwrap_or(0);
+            let warm_start_entries = opt_u64(eng, "warm_start_entries")?.unwrap_or(0);
+            let disk_cold_starts = opt_u64(eng, "disk_cold_starts")?.unwrap_or(0);
             let s = wire_counters(&v, "schedule_cache_stats", &["hits", "misses", "entries"])?;
             let srv = wire_counters(
                 &v,
@@ -665,6 +752,9 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     deadline_fallbacks,
                     trace_hits,
                     batched_replays,
+                    disk_hits,
+                    warm_start_entries,
+                    disk_cold_starts,
                 },
                 schedule: ScheduleStatsWire { hits: s[0], misses: s[1], entries: s[2] },
                 server: ServerStatsWire {
@@ -677,6 +767,26 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
             }
         }
         "shutting_down" => Response::ShuttingDown,
+        "fleet_stats" => Response::FleetStats {
+            shards: v
+                .get("shards")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad("missing array field 'shards'"))?
+                .iter()
+                .map(|s| {
+                    Ok(ShardStatsWire {
+                        shard: req_u64(s, "shard")?,
+                        port: req_u64(s, "port")?,
+                        alive: s
+                            .get("alive")
+                            .and_then(Value::as_bool)
+                            .ok_or_else(|| bad("missing boolean field 'alive'"))?,
+                        routed: req_u64(s, "routed")?,
+                        failed: req_u64(s, "failed")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ProtoError>>()?,
+        },
         "slept" => Response::Slept { ms: req_u64(&v, "ms")? },
         "result" => Response::Result {
             cycles: req_u64(&v, "cycles")?,

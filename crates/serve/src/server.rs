@@ -2,49 +2,61 @@
 //!
 //! Threading model (all std, no reactor):
 //!
-//! * the **accept loop** runs on the caller's thread over a non-blocking
-//!   listener, polling the shutdown flag between accepts;
-//! * each connection gets a **scoped connection thread** that frames
-//!   requests ([`FrameReader`]), answers control-plane ops (`health`,
-//!   `stats`, `shutdown`) inline, and pushes work-plane ops through the
-//!   bounded queue — a full queue answers `overloaded` immediately;
+//! * a single **event loop** runs on the caller's thread: a non-blocking
+//!   listener plus one non-blocking socket per connection, each with its
+//!   own read buffer ([`FrameReader`]), write buffer, and an ordered
+//!   queue of pending replies. The loop paces itself with a readiness
+//!   wheel — busy ticks poll tightly, idle ticks back off exponentially
+//!   up to `POLL_INTERVAL` — so a hot server reacts in microseconds
+//!   and an idle one costs ~100 wakeups/s;
+//! * control-plane ops (`health`, `stats`, `shutdown`, `fleet_stats`)
+//!   are answered inline on the loop — they work even when the work
+//!   queue is saturated (you can always ask a drowning server for its
+//!   stats) — while work-plane ops go through the bounded queue, a full
+//!   queue answering `overloaded` immediately;
 //! * a **worker pool** (built on the evaluation engine's `par_map_jobs`
 //!   primitive, one long-lived loop per worker slot) pops jobs and
-//!   executes them through the process-wide engine cache, with a
-//!   `catch_unwind` fence so a panicking request becomes a structured
-//!   `internal` error instead of a dead worker.
+//!   executes them through the process-wide engine cache — or, when a
+//!   [`Fleet`](crate::fleet::Fleet) is attached, forwards them to the
+//!   shard that owns the request's cache key — with a `catch_unwind`
+//!   fence so a panicking request becomes a structured `internal` error
+//!   instead of a dead worker.
+//!
+//! Replies stay in request order per connection: each admitted frame
+//! reserves a slot in the connection's pending queue, and the loop only
+//! flushes a reply once every earlier slot has one.
 //!
 //! Graceful shutdown (SIGTERM, ctrl-c, or a `shutdown` request): the
-//! accept loop stops admitting connections, connection threads finish
-//! their in-flight request and close, the queue is closed and drained by
-//! the workers, and [`Server::serve`] returns the final counters for the
-//! stats line. Nothing admitted is ever dropped.
+//! loop stops accepting and stops reading new frames, keeps ticking
+//! until every pending reply is flushed, then closes the queue and
+//! joins the workers. Nothing admitted is ever dropped.
 
 use crate::probe;
 use crate::protocol::{
     encode_response, EngineStatsWire, Frame, FrameReader, Request, Response, ScheduleStatsWire,
-    ServerStatsWire,
+    ServerStatsWire, ShardStatsWire,
 };
 use crate::queue::{Bounded, PushError};
 use crate::signal;
 use revel_bench::grid;
-use revel_core::engine;
+use revel_core::engine::{self, Served};
 use revel_core::isa::Rng;
 use revel_core::sim::{FaultPlan, SimOptions};
 use revel_core::workloads::run_workload_with;
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// How long the accept loop sleeps when no connection is pending, and the
-/// granularity at which connection threads notice shutdown.
+/// Ceiling of the event loop's idle backoff: the longest a fully idle
+/// server sleeps between readiness sweeps.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
-/// Read timeout on connection sockets: the interval at which an idle
-/// connection thread re-checks the shutdown flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(200);
+/// Floor of the event loop's idle backoff: the first sleep after a tick
+/// that made no progress.
+const IDLE_FLOOR: Duration = Duration::from_micros(500);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -62,6 +74,9 @@ pub struct ServerConfig {
     /// Seed for the per-worker chaos RNG streams (deterministic given the
     /// seed, worker count, and per-worker job order).
     pub chaos_seed: u64,
+    /// Shard id reported by the `health` op when this process runs as a
+    /// fleet shard; `None` for a standalone server or the fleet frontend.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +87,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             chaos_rate: 0.0,
             chaos_seed: 0,
+            shard_id: None,
         }
     }
 }
@@ -123,6 +139,14 @@ struct Shared {
     workers: usize,
     chaos_rate: f64,
     chaos_seed: u64,
+    shard_id: Option<u64>,
+    /// Local port (resolved after bind), reported by `fleet_stats` when
+    /// a standalone server answers for itself.
+    port: u16,
+    /// The shard fleet this server fronts, when routing instead of
+    /// executing locally.
+    fleet: Option<Arc<crate::fleet::Fleet>>,
+    active_connections: AtomicU64,
     received: AtomicU64,
     completed: AtomicU64,
     overloaded: AtomicU64,
@@ -171,6 +195,7 @@ impl Server {
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
         let workers = if cfg.workers == 0 { engine::jobs() } else { cfg.workers };
         Ok(Server {
             listener,
@@ -180,6 +205,10 @@ impl Server {
                 workers,
                 chaos_rate: cfg.chaos_rate.clamp(0.0, 1.0),
                 chaos_seed: cfg.chaos_seed,
+                shard_id: cfg.shard_id,
+                port,
+                fleet: None,
+                active_connections: AtomicU64::new(0),
                 received: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 overloaded: AtomicU64::new(0),
@@ -188,6 +217,14 @@ impl Server {
                 injected: AtomicU64::new(0),
             },
         })
+    }
+
+    /// Attaches a shard fleet: work-plane requests are routed to shards
+    /// by cache-key fingerprint instead of executed in-process, and the
+    /// `stats`/`fleet_stats` ops aggregate over the fleet. Must be called
+    /// before [`Server::serve`].
+    pub fn set_fleet(&mut self, fleet: Arc<crate::fleet::Fleet>) {
+        self.shared.fleet = Some(fleet);
     }
 
     /// The bound address (resolves port 0).
@@ -219,35 +256,302 @@ impl Server {
                 let slots: Vec<usize> = (0..shared.workers).collect();
                 engine::par_map_jobs(&slots, shared.workers, |slot| worker_loop(shared, *slot));
             });
-            let mut conns = Vec::new();
-            loop {
-                if shared.shutdown_requested() {
+            let result = event_loop(&self.listener, shared);
+            shared.queue.close();
+            let _ = pool.join();
+            result
+        })?;
+        Ok(shared.final_stats())
+    }
+}
+
+/// Escalating idle backoff for the event loop: a tick that made progress
+/// resets to busy polling, consecutive idle ticks double the sleep from
+/// [`IDLE_FLOOR`] up to [`POLL_INTERVAL`].
+struct ReadinessWheel {
+    idle_ticks: u32,
+}
+
+impl ReadinessWheel {
+    fn new() -> ReadinessWheel {
+        ReadinessWheel { idle_ticks: 0 }
+    }
+
+    fn tick(&mut self, progress: bool) {
+        if progress {
+            self.idle_ticks = 0;
+            return;
+        }
+        let wait = IDLE_FLOOR.saturating_mul(1 << self.idle_ticks.min(5)).min(POLL_INTERVAL);
+        self.idle_ticks = self.idle_ticks.saturating_add(1);
+        std::thread::sleep(wait);
+    }
+}
+
+/// A reply slot in a connection's ordered outgoing queue.
+enum Pending {
+    /// Encoded and ready to flush.
+    Ready(String),
+    /// Waiting on a worker; encoded with `id` when the reply arrives.
+    Wait { id: u64, rx: mpsc::Receiver<Response> },
+}
+
+/// One live connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameReader<TcpStream>,
+    /// Bytes queued for the socket; `wpos` marks how much is written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Replies owed to the client, in request order.
+    pending: VecDeque<Pending>,
+    /// Stop reading new frames; flush what is owed, then close.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Option<Conn> {
+        stream.set_nonblocking(true).ok()?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone().ok()?;
+        Some(Conn {
+            stream,
+            frames: FrameReader::new(reader),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            closing: false,
+        })
+    }
+
+    /// The connection has nothing left to do: no more reads, every owed
+    /// reply flushed.
+    fn done(&self) -> bool {
+        self.closing && self.pending.is_empty() && self.wpos == self.wbuf.len()
+    }
+
+    /// One readiness sweep: read and admit frames, move completed replies
+    /// into the write buffer (in order), flush. Returns true if anything
+    /// advanced.
+    fn pump(&mut self, shared: &Shared) -> bool {
+        let mut progress = false;
+        while !self.closing {
+            match self.frames.next_frame() {
+                Ok(None) => {
+                    // Client closed its write side; owed replies still
+                    // flush below before the connection is reaped.
+                    self.closing = true;
+                    progress = true;
+                }
+                Ok(Some(Frame::Oversized(n))) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::error(
+                        "oversized_frame",
+                        format!(
+                            "frame of {n}+ bytes exceeds the {}-byte bound",
+                            crate::protocol::MAX_FRAME_BYTES
+                        ),
+                    );
+                    self.pending.push_back(Pending::Ready(encode_response(0, &resp)));
+                    self.closing = true; // framing is lost
+                    progress = true;
+                }
+                Ok(Some(Frame::Line(line))) => {
+                    progress = true;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.admit(&line, shared);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
                     break;
                 }
-                match self.listener.accept() {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closing = true;
+                    progress = true;
+                }
+            }
+        }
+        // Move completed replies to the write buffer — strictly in
+        // admission order, so a fast later request never overtakes a slow
+        // earlier one on the same connection.
+        loop {
+            let frame = match self.pending.front_mut() {
+                Some(Pending::Ready(s)) => std::mem::take(s),
+                Some(Pending::Wait { id, rx }) => match rx.try_recv() {
+                    Ok(resp) => encode_response(*id, &resp),
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => encode_response(
+                        *id,
+                        &Response::error("internal", "worker dropped the reply channel"),
+                    ),
+                },
+                None => break,
+            };
+            self.pending.pop_front();
+            self.wbuf.extend_from_slice(frame.as_bytes());
+            progress = true;
+        }
+        // Flush as much as the socket accepts.
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.fail();
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.fail();
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        progress
+    }
+
+    /// The peer is gone: drop everything owed so `done` reports true. A
+    /// vanished connection is not a server error.
+    fn fail(&mut self) {
+        self.closing = true;
+        self.pending.clear();
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    /// Decodes one frame and queues its reply slot: control-plane ops are
+    /// answered inline, work-plane ops admitted to the bounded queue.
+    fn admit(&mut self, line: &str, shared: &Shared) {
+        let (id, req) = match crate::protocol::decode_request(line) {
+            Ok(ok) => ok,
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error("bad_request", e.message.clone());
+                self.pending.push_back(Pending::Ready(encode_response(0, &resp)));
+                return;
+            }
+        };
+        shared.received.fetch_add(1, Ordering::Relaxed);
+        // Control plane: answered inline so they work even when the queue
+        // is saturated.
+        let inline = match &req {
+            Request::Health => Some(Response::Health {
+                workers: shared.workers as u64,
+                queue_capacity: shared.queue.capacity() as u64,
+                queue_depth: shared.queue.len() as u64,
+                active_connections: shared.active_connections.load(Ordering::Relaxed),
+                shard_id: shared.shard_id,
+            }),
+            Request::Stats => Some(stats_response(shared)),
+            Request::FleetStats => Some(fleet_stats_response(shared)),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                Some(Response::ShuttingDown)
+            }
+            _ => None,
+        };
+        if let Some(resp) = inline {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if matches!(resp, Response::ShuttingDown) {
+                self.closing = true;
+            }
+            self.pending.push_back(Pending::Ready(encode_response(id, &resp)));
+            return;
+        }
+        // Work plane: through the bounded queue. The deadline clock starts
+        // at admission, so time spent queued counts against the request.
+        let deadline = match &req {
+            Request::Simulate { deadline_ms: Some(ms), .. } => {
+                Some(Instant::now() + Duration::from_millis(*ms))
+            }
+            _ => None,
+        };
+        let (tx, rx) = mpsc::channel();
+        match shared.queue.try_push(Job { req, deadline, reply: tx }) {
+            Ok(()) => self.pending.push_back(Pending::Wait { id, rx }),
+            Err(PushError::Full(_)) => {
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                // The hint scales with the backlog the rejected caller
+                // saw: a full queue means at least capacity jobs ahead of
+                // a retry.
+                let resp = Response::Overloaded {
+                    capacity: shared.queue.capacity() as u64,
+                    retry_after_ms: Some(shared.retry_hint_ms()),
+                };
+                self.pending.push_back(Pending::Ready(encode_response(id, &resp)));
+            }
+            Err(PushError::Closed(_)) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    kind: "shutting_down".to_string(),
+                    message: "server is draining".to_string(),
+                    retry_after_ms: Some(shared.retry_hint_ms()),
+                };
+                self.pending.push_back(Pending::Ready(encode_response(id, &resp)));
+                self.closing = true;
+            }
+        }
+    }
+}
+
+/// The event loop proper: accept, pump every connection, reap the done
+/// ones, pace with the readiness wheel; on shutdown stop accepting and
+/// reading but keep ticking until every owed reply is flushed.
+fn event_loop(listener: &TcpListener, shared: &Shared) -> std::io::Result<()> {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut wheel = ReadinessWheel::new();
+    let mut draining = false;
+    loop {
+        let mut progress = false;
+        if !draining && shared.shutdown_requested() {
+            draining = true;
+            for conn in &mut conns {
+                conn.closing = true;
+            }
+            progress = true;
+        }
+        if !draining {
+            loop {
+                match listener.accept() {
                     Ok((stream, _peer)) => {
-                        conns.push(scope.spawn(move || handle_connection(stream, shared)));
+                        if let Some(conn) = Conn::new(stream) {
+                            conns.push(conn);
+                            progress = true;
+                        }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                     Err(e) => {
                         shared.shutdown.store(true, Ordering::SeqCst);
-                        shared.queue.close();
                         return Err(e);
                     }
                 }
             }
-            // Drain: connections finish their in-flight request, then the
-            // workers drain everything those connections admitted.
-            for c in conns {
-                let _ = c.join();
-            }
-            shared.queue.close();
-            let _ = pool.join();
-            Ok(())
-        })?;
-        Ok(shared.final_stats())
+        }
+        shared.active_connections.store(conns.len() as u64, Ordering::Relaxed);
+        for conn in &mut conns {
+            progress |= conn.pump(shared);
+        }
+        let before = conns.len();
+        conns.retain(|c| !c.done());
+        progress |= conns.len() != before;
+        if draining && conns.is_empty() {
+            shared.active_connections.store(0, Ordering::Relaxed);
+            return Ok(());
+        }
+        wheel.tick(progress);
     }
 }
 
@@ -302,6 +606,15 @@ fn execute_fault_sim(req: &Request, seed: u64, shared: &Shared) -> Response {
     injected
 }
 
+/// Serves one popped job: forwarded to the owning shard when a fleet is
+/// attached, executed through the local engine otherwise.
+fn dispatch(shared: &Shared, job: &Job) -> Response {
+    match &shared.fleet {
+        Some(fleet) => fleet.forward(&job.req),
+        None => execute(&job.req, job.deadline),
+    }
+}
+
 fn worker_loop(shared: &Shared, slot: usize) {
     // Each worker owns a deterministic chaos stream: same seed, worker
     // count, and per-worker job order ⇒ same injection decisions. (Which
@@ -323,10 +636,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 Some(ChaosKind::Panic) => panic!("{CHAOS_PANIC_MSG}"),
                 Some(ChaosKind::Delay) => {
                     std::thread::sleep(Duration::from_millis(5));
-                    execute(&job.req, job.deadline)
+                    dispatch(shared, &job)
                 }
                 Some(ChaosKind::FaultSim) => execute_fault_sim(&job.req, rng.next_u64(), shared),
-                None => execute(&job.req, job.deadline),
+                None => dispatch(shared, &job),
             }
         }))
         .unwrap_or_else(|payload| {
@@ -356,130 +669,44 @@ fn worker_loop(shared: &Shared, slot: usize) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut frames = FrameReader::new(stream);
-    loop {
-        match frames.next_frame() {
-            Ok(None) => break, // client closed
-            Ok(Some(Frame::Oversized(n))) => {
-                let resp = Response::error(
-                    "oversized_frame",
-                    format!(
-                        "frame of {n}+ bytes exceeds the {}-byte bound",
-                        crate::protocol::MAX_FRAME_BYTES
-                    ),
-                );
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = writer.write_all(encode_response(0, &resp).as_bytes());
-                break; // framing is lost; close the connection
-            }
-            Ok(Some(Frame::Line(line))) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let stop = answer(&line, &mut writer, shared);
-                if stop {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown_requested() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
+/// The `fleet_stats` roster: the fleet's when one is attached, a
+/// single-row answer for a standalone server (it is its own shard 0).
+fn fleet_stats_response(shared: &Shared) -> Response {
+    match &shared.fleet {
+        Some(fleet) => Response::FleetStats { shards: fleet.roster() },
+        None => Response::FleetStats {
+            shards: vec![ShardStatsWire {
+                shard: shared.shard_id.unwrap_or(0),
+                port: u64::from(shared.port),
+                alive: true,
+                routed: shared.completed.load(Ordering::Relaxed),
+                failed: 0,
+            }],
+        },
     }
-}
-
-/// Decodes and answers one frame; returns true when the connection should
-/// close (shutdown acknowledged).
-fn answer(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
-    let (id, req) = match crate::protocol::decode_request(line) {
-        Ok(ok) => ok,
-        Err(e) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            let resp = Response::error("bad_request", e.message.clone());
-            let _ = writer.write_all(encode_response(0, &resp).as_bytes());
-            return false;
-        }
-    };
-    shared.received.fetch_add(1, Ordering::Relaxed);
-    // Control plane: answered inline so they work even when the queue is
-    // saturated (you can always ask a drowning server for its stats).
-    let inline = match &req {
-        Request::Health => Some(Response::Health {
-            workers: shared.workers as u64,
-            queue_capacity: shared.queue.capacity() as u64,
-        }),
-        Request::Stats => Some(stats_response(shared)),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Some(Response::ShuttingDown)
-        }
-        _ => None,
-    };
-    if let Some(resp) = inline {
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        let stop = matches!(resp, Response::ShuttingDown);
-        let _ = writer.write_all(encode_response(id, &resp).as_bytes());
-        return stop;
-    }
-    // Work plane: through the bounded queue. The deadline clock starts at
-    // admission, so time spent queued counts against the request.
-    let deadline = match &req {
-        Request::Simulate { deadline_ms: Some(ms), .. } => {
-            Some(Instant::now() + Duration::from_millis(*ms))
-        }
-        _ => None,
-    };
-    let (tx, rx) = mpsc::channel();
-    match shared.queue.try_push(Job { req, deadline, reply: tx }) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
-            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            // The hint scales with the backlog the rejected caller saw: a
-            // full queue means at least capacity jobs ahead of a retry.
-            let resp = Response::Overloaded {
-                capacity: shared.queue.capacity() as u64,
-                retry_after_ms: Some(shared.retry_hint_ms()),
-            };
-            let _ = writer.write_all(encode_response(id, &resp).as_bytes());
-            return false;
-        }
-        Err(PushError::Closed(_)) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            let resp = Response::Error {
-                kind: "shutting_down".to_string(),
-                message: "server is draining".to_string(),
-                retry_after_ms: Some(shared.retry_hint_ms()),
-            };
-            let _ = writer.write_all(encode_response(id, &resp).as_bytes());
-            return true;
-        }
-    }
-    // Block for the worker's answer: replies stay in request order per
-    // connection, and shutdown never abandons an admitted request.
-    let resp = rx
-        .recv()
-        .unwrap_or_else(|_| Response::error("internal", "worker dropped the reply channel"));
-    let _ = writer.write_all(encode_response(id, &resp).as_bytes());
-    false
 }
 
 fn stats_response(shared: &Shared) -> Response {
+    let f = shared.final_stats();
+    let server = ServerStatsWire {
+        received: f.received,
+        completed: f.completed,
+        overloaded: f.overloaded,
+        timed_out: f.timed_out,
+        errors: f.errors,
+    };
+    if let Some(fleet) = &shared.fleet {
+        // The frontend's own engine is idle; the counters that matter
+        // live on the shards. Summing keeps client-side hit-rate windows
+        // working unchanged against a fleet.
+        if let Some((engine, schedule)) = fleet.aggregate_stats() {
+            return Response::Stats { engine, schedule, server };
+        }
+        // No shard reachable: fall through to the (idle) local counters
+        // rather than turning a stats probe into an error.
+    }
     let e = engine::stats();
     let s = revel_core::sim::schedule_cache_stats();
-    let f = shared.final_stats();
     Response::Stats {
         engine: EngineStatsWire {
             hits: e.hits,
@@ -495,15 +722,12 @@ fn stats_response(shared: &Shared) -> Response {
             deadline_fallbacks: e.deadline_fallbacks,
             trace_hits: e.trace_hits,
             batched_replays: e.batched_replays,
+            disk_hits: e.disk_hits,
+            warm_start_entries: e.warm_start_entries,
+            disk_cold_starts: e.disk_cold_starts,
         },
         schedule: ScheduleStatsWire { hits: s.hits, misses: s.misses, entries: s.entries as u64 },
-        server: ServerStatsWire {
-            received: f.received,
-            completed: f.completed,
-            overloaded: f.overloaded,
-            timed_out: f.timed_out,
-            errors: f.errors,
-        },
+        server,
     }
 }
 
@@ -562,7 +786,7 @@ fn execute(req: &Request, deadline: Option<Instant>) -> Response {
             None => unknown_bench(bench, params, "-"),
         },
         // Control-plane ops never reach the queue.
-        Request::Health | Request::Stats | Request::Shutdown => {
+        Request::Health | Request::Stats | Request::Shutdown | Request::FleetStats => {
             Response::error("internal", "control-plane request routed to a worker")
         }
     }
@@ -675,7 +899,21 @@ fn simulate(
         };
         run_workload_with(b.workload().as_ref(), &cfg, opts)
     } else {
-        b.run_with_deadline(&cfg, deadline)
+        // The layered lookup: memory cache, then the persistent disk
+        // tier (a warm-started shard answers before its first
+        // simulation), then a real run.
+        match b.run_served(&cfg, deadline) {
+            Ok(Served::Disk(run)) => {
+                return Response::Result {
+                    cycles: run.cycles,
+                    commands_issued: run.commands_issued,
+                    verified: run.verified.is_ok(),
+                    error: run.verified.err(),
+                };
+            }
+            Ok(Served::Run(run)) => Ok(*run),
+            Err(e) => Err(e),
+        }
     };
     match result {
         Ok(run) => {
@@ -765,5 +1003,18 @@ mod tests {
             None,
         );
         assert!(matches!(resp, Response::Error { ref kind, .. } if kind == "unknown_bench"));
+    }
+
+    #[test]
+    fn readiness_wheel_backs_off_and_resets() {
+        let mut wheel = ReadinessWheel::new();
+        for _ in 0..3 {
+            wheel.tick(true);
+        }
+        assert_eq!(wheel.idle_ticks, 0, "progress keeps the wheel hot");
+        wheel.tick(false);
+        assert_eq!(wheel.idle_ticks, 1);
+        wheel.tick(true);
+        assert_eq!(wheel.idle_ticks, 0, "one busy tick resets the backoff");
     }
 }

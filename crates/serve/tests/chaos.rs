@@ -22,6 +22,7 @@ fn start_chaos(
         queue_capacity,
         chaos_rate,
         chaos_seed,
+        shard_id: None,
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();

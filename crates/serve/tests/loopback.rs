@@ -132,9 +132,19 @@ fn full_queue_yields_structured_overload() {
     }
     assert!(waited < Duration::from_millis(300), "rejection must be immediate, took {waited:?}");
 
-    // Control plane still answers while saturated.
+    // Control plane still answers while saturated — and reports the
+    // saturation it is answering through.
     let health = reject.request(&Request::Health).expect("health under load");
-    assert_eq!(health, Response::Health { workers: 1, queue_capacity: 1 });
+    match health {
+        Response::Health { workers, queue_capacity, queue_depth, active_connections, shard_id } => {
+            assert_eq!(workers, 1);
+            assert_eq!(queue_capacity, 1);
+            assert_eq!(queue_depth, 1, "the parked job is visible as backlog");
+            assert!(active_connections >= 3, "all three clients are held open");
+            assert_eq!(shard_id, None, "a standalone server has no shard id");
+        }
+        other => panic!("expected health, got {other:?}"),
+    }
 
     // The admitted requests were not harmed.
     assert_eq!(t_busy.join().unwrap().expect("busy"), Response::Slept { ms: 600 });

@@ -6,7 +6,7 @@
 use revel_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_all_frames,
     EngineStatsWire, Frame, FrameReader, Request, Response, ScheduleStatsWire, ServerStatsWire,
-    MAX_FRAME_BYTES,
+    ShardStatsWire, MAX_FRAME_BYTES,
 };
 
 fn every_request() -> Vec<Request> {
@@ -14,6 +14,7 @@ fn every_request() -> Vec<Request> {
         Request::Health,
         Request::Stats,
         Request::Shutdown,
+        Request::FleetStats,
         Request::Sleep { ms: 250 },
         Request::Simulate {
             bench: "qr".into(),
@@ -71,7 +72,27 @@ fn every_request() -> Vec<Request> {
 
 fn every_response() -> Vec<Response> {
     vec![
-        Response::Health { workers: 8, queue_capacity: 64 },
+        Response::Health {
+            workers: 8,
+            queue_capacity: 64,
+            queue_depth: 3,
+            active_connections: 2,
+            shard_id: None,
+        },
+        Response::Health {
+            workers: 1,
+            queue_capacity: 8,
+            queue_depth: 0,
+            active_connections: 1,
+            shard_id: Some(2),
+        },
+        Response::FleetStats {
+            shards: vec![
+                ShardStatsWire { shard: 0, port: 7412, alive: true, routed: 120, failed: 0 },
+                ShardStatsWire { shard: 1, port: 7413, alive: false, routed: 33, failed: 2 },
+            ],
+        },
+        Response::FleetStats { shards: vec![] },
         Response::Stats {
             engine: EngineStatsWire {
                 hits: 10,
@@ -87,6 +108,9 @@ fn every_response() -> Vec<Response> {
                 deadline_fallbacks: 1,
                 trace_hits: 4,
                 batched_replays: 32,
+                disk_hits: 7,
+                warm_start_entries: 5,
+                disk_cold_starts: 1,
             },
             schedule: ScheduleStatsWire { hits: 40, misses: 5, entries: 5 },
             server: ServerStatsWire {
@@ -210,9 +234,47 @@ fn legacy_stats_frames_decode_with_zeroed_new_counters() {
             assert_eq!(engine.deadline_fallbacks, 0);
             assert_eq!(engine.trace_hits, 0);
             assert_eq!(engine.batched_replays, 0);
+            assert_eq!(engine.disk_hits, 0);
+            assert_eq!(engine.warm_start_entries, 0);
+            assert_eq!(engine.disk_cold_starts, 0);
         }
         other => panic!("expected Stats, got {other:?}"),
     }
+}
+
+/// A health frame from a pre-fleet server (no `queue_depth`,
+/// `active_connections`, or `shard_id`) must still decode, with the new
+/// fields defaulted — and a standalone server's own health frame omits
+/// `shard_id` entirely (the byte-stability convention for optional
+/// fields).
+#[test]
+fn legacy_health_frames_decode_and_shard_id_is_omitted_when_absent() {
+    let legacy = "{\"id\":4,\"type\":\"health\",\"workers\":8,\"queue_capacity\":64}";
+    let (id, resp) = decode_response(legacy).expect("legacy health frame must decode");
+    assert_eq!(id, 4);
+    assert_eq!(
+        resp,
+        Response::Health {
+            workers: 8,
+            queue_capacity: 64,
+            queue_depth: 0,
+            active_connections: 0,
+            shard_id: None,
+        }
+    );
+    let frame = encode_response(4, &resp);
+    assert!(!frame.contains("shard_id"), "absent shard_id stays off the wire: {frame}");
+    let sharded = Response::Health {
+        workers: 8,
+        queue_capacity: 64,
+        queue_depth: 0,
+        active_connections: 0,
+        shard_id: Some(0),
+    };
+    assert!(
+        encode_response(4, &sharded).contains("\"shard_id\":0"),
+        "a shard reports its id on the wire"
+    );
 }
 
 #[test]
