@@ -331,7 +331,7 @@ fn main() {
             .lock()
             .expect("supervisor slot")
             .as_ref()
-            .is_some_and(|sup| sup.kill_shard(victim));
+            .is_some_and(|sup| sup.kill_shard(victim, false));
         gate(killed, "victim shard had a live process to kill");
         replayer.join().expect("replay thread")
     });

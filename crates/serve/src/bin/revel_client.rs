@@ -12,6 +12,9 @@
 //!
 //! # batched: each grid request simulates 16 seeded datasets of its cell
 //! revel_client --connections 2 --duration 5 --batch 16
+//!
+//! # scripted storm: phased scenario file with pinned SLOs (exit 1 on miss)
+//! revel_client --scenario ci/scenarios/thundering_herd.json --seed 7
 //! ```
 //!
 //! Prints a p50/p90/p99 latency histogram plus the server-reported engine
@@ -19,19 +22,34 @@
 //! `--assert-p99-ms` / `--assert-hit-rate` / `--assert-success-rate` turn
 //! the report into a gate: exit 1 when the floor is missed.
 //!
+//! Rate-paced mode (`--rps`) is open-loop and coordinated-omission
+//! correct: every request has an *intended* send time on an absolute
+//! arrival grid fixed at start, latency is measured from that intended
+//! time, and sends that slip more than 1 ms behind the grid are counted
+//! as late (reported, so a saturated generator is visible instead of
+//! silently under-offering).
+//!
 //! Against a `--chaos` server, run with `--retries N`: each connection
 //! drives a self-healing `RetryClient` (capped exponential backoff with
 //! deterministic jitter, consecutive-failure circuit breaker) so injected
-//! faults surface as retries, not failed requests.
+//! faults surface as retries, not failed requests. `--seed` pins every
+//! random choice end-to-end — scenario arrivals, workload-mix sampling,
+//! and retry jitter (unless `--retry-seed` overrides the latter).
 
 use revel_bench::grid;
 use revel_serve::client::{
     fmt_ms, percentile, CircuitBreaker, Client, ClientError, RetryClient, RetryPolicy,
 };
 use revel_serve::protocol::{decode_request, read_all_frames, EngineStatsWire, Request, Response};
+use revel_serve::scenario::{human_table, run, RunOptions};
+use revel_traffic::scenario::Scenario;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A rate-paced send this far behind its intended grid slot counts as
+/// late (mirrors the scenario engine's default `late_threshold_ms`).
+const LATE_THRESHOLD: Duration = Duration::from_millis(1);
 
 struct Args {
     addr: String,
@@ -40,12 +58,15 @@ struct Args {
     duration_s: f64,
     batch: usize,
     replay: Option<String>,
+    scenario: Option<String>,
+    seed: Option<u64>,
+    dump_requests: Option<String>,
     passes: usize,
     deadline_ms: Option<u64>,
     retries: u32,
     backoff_base_ms: u64,
     backoff_cap_ms: u64,
-    retry_seed: u64,
+    retry_seed: Option<u64>,
     breaker_threshold: u32,
     breaker_cooldown_ms: u64,
     assert_p99_ms: Option<f64>,
@@ -53,6 +74,14 @@ struct Args {
     assert_success_rate: Option<f64>,
     assert_trace_hits: Option<u64>,
     assert_evictions: Option<u64>,
+}
+
+impl Args {
+    /// The retry-jitter seed: `--retry-seed` wins, else `--seed` pins it
+    /// too (one flag reproduces the whole run), else 0.
+    fn jitter_seed(&self) -> u64 {
+        self.retry_seed.or(self.seed).unwrap_or(0)
+    }
 }
 
 fn parse_args() -> Args {
@@ -63,12 +92,15 @@ fn parse_args() -> Args {
         duration_s: 10.0,
         batch: 1,
         replay: None,
+        scenario: None,
+        seed: None,
+        dump_requests: None,
         passes: 1,
         deadline_ms: None,
         retries: 1,
         backoff_base_ms: 5,
         backoff_cap_ms: 500,
-        retry_seed: 0,
+        retry_seed: None,
         breaker_threshold: 5,
         breaker_cooldown_ms: 200,
         assert_p99_ms: None,
@@ -93,6 +125,9 @@ fn parse_args() -> Args {
             }
             "--batch" => a.batch = parse(&val("--batch"), "--batch"),
             "--replay" => a.replay = Some(val("--replay")),
+            "--scenario" => a.scenario = Some(val("--scenario")),
+            "--seed" => a.seed = Some(parse(&val("--seed"), "--seed")),
+            "--dump-requests" => a.dump_requests = Some(val("--dump-requests")),
             "--passes" => a.passes = parse(&val("--passes"), "--passes"),
             "--deadline-ms" => a.deadline_ms = Some(parse(&val("--deadline-ms"), "--deadline-ms")),
             "--retries" => a.retries = parse(&val("--retries"), "--retries"),
@@ -102,7 +137,7 @@ fn parse_args() -> Args {
             "--backoff-cap-ms" => {
                 a.backoff_cap_ms = parse(&val("--backoff-cap-ms"), "--backoff-cap-ms");
             }
-            "--retry-seed" => a.retry_seed = parse(&val("--retry-seed"), "--retry-seed"),
+            "--retry-seed" => a.retry_seed = Some(parse(&val("--retry-seed"), "--retry-seed")),
             "--breaker-threshold" => {
                 a.breaker_threshold = parse(&val("--breaker-threshold"), "--breaker-threshold");
             }
@@ -168,6 +203,7 @@ struct Tally {
     errors: AtomicU64,
     retries: AtomicU64,
     breaker_opens: AtomicU64,
+    late_sends: AtomicU64,
 }
 
 impl Tally {
@@ -191,6 +227,9 @@ impl Tally {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.scenario {
+        scenario_mode(&args, path);
+    }
     let mut gate_failures: Vec<String> = Vec::new();
 
     // The measurement window is bracketed by server-side stats snapshots,
@@ -234,6 +273,17 @@ fn main() {
         tally.breaker_opens.load(Ordering::Relaxed),
     );
     println!("  latency: p50 {}  p90 {}  p99 {}", fmt_ms(p50), fmt_ms(p90), fmt_ms(p99));
+    if args.rps > 0.0 {
+        // Open-loop honesty counter: sends that slipped behind the
+        // absolute arrival grid. Latency is measured from the *intended*
+        // slot either way (coordinated-omission correction), so late
+        // sends inflate the tail instead of hiding it.
+        println!(
+            "  open-loop pacing: {} send(s) more than {}ms behind the arrival grid",
+            tally.late_sends.load(Ordering::Relaxed),
+            LATE_THRESHOLD.as_millis(),
+        );
+    }
 
     let d_hits = after.hits.saturating_sub(before.hits);
     let d_misses = after.misses.saturating_sub(before.misses);
@@ -350,24 +400,26 @@ fn grid_load(args: &Args, tally: &Tally) {
             }
         })
         .collect();
-    let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
-    // Each connection paces itself so the *total* offered rate is --rps.
-    let per_conn_interval = if args.rps > 0.0 {
-        Some(Duration::from_secs_f64(args.connections as f64 / args.rps))
-    } else {
-        None
-    };
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(args.duration_s);
+    // Open-loop mode: the arrival grid is fixed at start. Connection c's
+    // k-th request is *intended* at start + (c + k·C)/rps, never
+    // re-derived from when the previous reply landed — a stalled server
+    // cannot shrink the offered load or flatter the tail (coordinated
+    // omission). Latency is measured from the intended slot; sends that
+    // slip behind the grid are counted.
+    let open_loop = args.rps > 0.0;
     std::thread::scope(|s| {
         for conn in 0..args.connections {
             let reqs = &reqs;
             s.spawn(move || {
                 // Per-connection jitter stream: deterministic for a fixed
-                // --retry-seed, decorrelated across connections.
+                // --retry-seed (or --seed), decorrelated across connections.
                 let policy = RetryPolicy {
                     max_attempts: args.retries.max(1),
                     base_ms: args.backoff_base_ms,
                     cap_ms: args.backoff_cap_ms,
-                    seed: args.retry_seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    seed: args.jitter_seed() ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 };
                 let breaker = CircuitBreaker::new(
                     args.breaker_threshold,
@@ -376,17 +428,33 @@ fn grid_load(args: &Args, tally: &Tally) {
                 let mut client = RetryClient::new(&args.addr, policy, breaker);
                 // Stagger starting cells so connections don't convoy.
                 let mut i = conn;
+                let mut k = 0u64;
                 while Instant::now() < deadline {
-                    let t0 = Instant::now();
+                    let intended = if open_loop {
+                        let offset = (conn as f64 + k as f64 * args.connections as f64) / args.rps;
+                        let slot = start + Duration::from_secs_f64(offset);
+                        let now = Instant::now();
+                        if slot > now {
+                            std::thread::sleep(slot - now);
+                        } else if now.duration_since(slot) > LATE_THRESHOLD {
+                            tally.late_sends.fetch_add(1, Ordering::Relaxed);
+                        }
+                        slot
+                    } else {
+                        Instant::now()
+                    };
                     match client.request(&reqs[i % reqs.len()]) {
-                        Ok(resp) => tally.record(t0, &resp),
+                        Ok(resp) => tally.record(intended, &resp),
                         Err(ClientError::CircuitOpen) => {
-                            // Fail-fast rejection: count it, let the
-                            // cooldown elapse instead of spinning.
+                            // Fail-fast rejection: count it. Closed-loop
+                            // lets the cooldown elapse instead of
+                            // spinning; open-loop is paced by the grid.
                             tally.errors.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(Duration::from_millis(
-                                args.breaker_cooldown_ms.max(1),
-                            ));
+                            if !open_loop {
+                                std::thread::sleep(Duration::from_millis(
+                                    args.breaker_cooldown_ms.max(1),
+                                ));
+                            }
                         }
                         Err(e) => {
                             eprintln!("revel-client: connection {conn}: {e}");
@@ -394,19 +462,57 @@ fn grid_load(args: &Args, tally: &Tally) {
                         }
                     }
                     i += args.connections;
-                    if let Some(interval) = per_conn_interval {
-                        let next = t0 + interval;
-                        let now = Instant::now();
-                        if next > now {
-                            std::thread::sleep(next - now);
-                        }
-                    }
+                    k += 1;
                 }
                 tally.retries.fetch_add(client.retries(), Ordering::Relaxed);
                 tally.breaker_opens.fetch_add(client.breaker().opened_total(), Ordering::Relaxed);
             });
         }
     });
+}
+
+/// `--scenario` mode: parse and validate the file, expand the plan under
+/// `--seed` (or the file's seed), execute every phase, print one JSON
+/// summary line per phase plus a human table, and exit nonzero listing
+/// every violated SLO.
+fn scenario_mode(args: &Args, path: &str) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fatal(&format!("cannot read scenario file {path}: {e}")));
+    let scenario = Scenario::parse(&text).unwrap_or_else(|e| fatal(&e.to_string()));
+    let opts = RunOptions {
+        addr: args.addr.clone(),
+        seed_override: args.seed,
+        dump_requests: args.dump_requests.is_some(),
+    };
+    let report = run(&scenario, &opts).unwrap_or_else(|e| fatal(&e));
+    if let Some(dump_path) = &args.dump_requests {
+        let mut dump = report.dump.join("\n");
+        dump.push('\n');
+        std::fs::write(dump_path, dump)
+            .unwrap_or_else(|e| fatal(&format!("cannot write request dump {dump_path}: {e}")));
+    }
+    for (name, summary) in &report.phases {
+        println!("{}", summary.json_line(&scenario.name, name));
+    }
+    println!("{}", report.total.json_line(&scenario.name, "all"));
+    println!(
+        "revel-client: scenario {} (seed {}): {} phase(s), {} request(s) offered",
+        scenario.name,
+        report.seed,
+        report.phases.len(),
+        report.total.offered,
+    );
+    print!("{}", human_table(&report.phases, &report.total));
+    for note in &report.event_notes {
+        println!("  event: {note}");
+    }
+    if report.violations.is_empty() {
+        std::process::exit(0);
+    }
+    for v in &report.violations {
+        eprintln!("revel-client: GATE FAILED: {v}");
+    }
+    std::process::exit(1);
 }
 
 /// Replays a canned JSONL request file `passes` times, requests dealt
@@ -484,7 +590,7 @@ fn replay_retrying(args: &Args, conn: usize, reqs: &[Request], tally: &Tally) {
         max_attempts: args.retries.max(1),
         base_ms: args.backoff_base_ms,
         cap_ms: args.backoff_cap_ms,
-        seed: args.retry_seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        seed: args.jitter_seed() ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     };
     let breaker = CircuitBreaker::new(
         args.breaker_threshold,
@@ -532,6 +638,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: revel_client [--host H] [--port P] [--connections N] [--rps R] [--duration S]\n\
          \x20                 [--batch N] [--replay FILE] [--passes N] [--deadline-ms MS]\n\
+         \x20                 [--scenario FILE] [--seed N] [--dump-requests FILE]\n\
          \x20                 [--retries N] [--backoff-base-ms MS] [--backoff-cap-ms MS]\n\
          \x20                 [--retry-seed SEED] [--breaker-threshold N] [--breaker-cooldown-ms MS]\n\
          \x20                 [--assert-p99-ms MS] [--assert-hit-rate F] [--assert-success-rate F]\n\

@@ -125,6 +125,11 @@ fn main() {
             }
         };
         server.set_fleet(fleet);
+        // Scenario runs script shard kills over the wire; the hook hands
+        // them to this supervisor (SIGKILL + optional snapshot wipe).
+        let sup = Arc::new(sup);
+        let hook_sup = Arc::clone(&sup);
+        server.set_kill_hook(Box::new(move |id, wipe| hook_sup.kill_shard(id, wipe)));
         Some(sup)
     } else {
         None

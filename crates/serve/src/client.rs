@@ -103,6 +103,37 @@ impl Client {
         }
     }
 
+    /// Pipelining half 1: send one request without waiting for its reply,
+    /// returning the frame id. The server answers a connection's requests
+    /// strictly in order, so interleave [`recv`](Client::recv) calls FIFO.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(encode_request(id, req).as_bytes())?;
+        Ok(id)
+    }
+
+    /// Pipelining half 2: block for the next response frame, `(id,
+    /// response)`. A read timeout set via
+    /// [`set_read_timeout`](Client::set_read_timeout) surfaces as
+    /// [`ClientError::Io`] with `WouldBlock`/`TimedOut`; a partial frame
+    /// survives in the buffer, so calling again resumes cleanly.
+    ///
+    /// # Errors
+    /// Transport failures, a closed connection, or a protocol violation.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        match self.frames.next_frame()? {
+            None => Err(ClientError::Closed),
+            Some(Frame::Oversized(n)) => {
+                Err(ClientError::Protocol(format!("oversized response frame ({n}+ bytes)")))
+            }
+            Some(Frame::Line(line)) => Ok(decode_response(&line)?),
+        }
+    }
+
     /// Sends a raw pre-encoded frame (replay mode) and decodes the reply.
     ///
     /// # Errors

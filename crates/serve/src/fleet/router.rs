@@ -252,6 +252,15 @@ impl Fleet {
         engine_sum.map(|e| (e, sched_sum))
     }
 
+    /// The alive ring owner of a cell: the first successor of its routing
+    /// fingerprint, i.e. the shard a fresh forward of that cell would hit.
+    /// `None` when no shard is alive. Scenario kill events use this to
+    /// SIGKILL the shard that is actually serving a cell.
+    pub fn owner_of_cell(&self, bench: &str, params: &str, arch: &str) -> Option<usize> {
+        let fp = cell_fingerprint(bench, params, arch);
+        self.ring.read().expect("ring lock").successors(fp).into_iter().next()
+    }
+
     /// Asks every alive shard to shut down gracefully (the supervisor
     /// then waits for the processes to exit).
     pub fn shutdown_shards(&self) {

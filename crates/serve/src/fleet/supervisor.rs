@@ -85,7 +85,7 @@ struct Inner {
 pub struct Supervisor {
     fleet: Arc<Fleet>,
     inner: Arc<Inner>,
-    monitor: Option<std::thread::JoinHandle<()>>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Supervisor {
@@ -111,28 +111,39 @@ impl Supervisor {
                 }
             })
         };
-        Ok(Supervisor { fleet, inner, monitor: Some(monitor) })
+        Ok(Supervisor { fleet, inner, monitor: Mutex::new(Some(monitor)) })
     }
 
     /// SIGKILLs shard `id` (no drain, no flush — the failure the fleet is
     /// built to survive). Returns false when the shard has no live
     /// process. The monitor notices and respawns after its backoff.
-    pub fn kill_shard(&self, id: usize) -> bool {
+    /// `wipe_snapshot` removes the shard's persistent-cache directory
+    /// between the kill and the respawn, so the shard comes back
+    /// cache-cold instead of warm-starting from disk (the
+    /// `cache_cold_stampede` scenario).
+    pub fn kill_shard(&self, id: usize, wipe_snapshot: bool) -> bool {
         let mut procs = self.inner.procs.lock().expect("procs lock");
         let Some(proc_) = procs.iter_mut().find(|p| p.id == id) else { return false };
         let Some(mut child) = proc_.child.take() else { return false };
         let _ = child.kill();
         let _ = child.wait();
+        if wipe_snapshot {
+            if let Some(dir) = &self.inner.cfg.snapshot_dir {
+                let _ = std::fs::remove_dir_all(dir.join(format!("shard-{id}")));
+            }
+        }
         self.fleet.mark_down(id);
         true
     }
 
     /// Graceful teardown: stop the monitor, ask every live shard to
     /// drain via the protocol's `shutdown` op, wait bounded, then kill
-    /// stragglers.
-    pub fn shutdown(mut self) {
+    /// stragglers. Takes `&self` so a frontend can share the supervisor
+    /// with the scripted-kill hook behind an `Arc`; extra calls are
+    /// no-ops.
+    pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        if let Some(monitor) = self.monitor.take() {
+        if let Some(monitor) = self.monitor.lock().expect("monitor lock").take() {
             let _ = monitor.join();
         }
         self.fleet.shutdown_shards();

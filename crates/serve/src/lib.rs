@@ -35,9 +35,14 @@
 
 pub mod client;
 pub mod fleet;
-pub mod json;
 pub mod probe;
 pub mod protocol;
 pub mod queue;
+pub mod scenario;
 pub mod server;
 pub mod signal;
+
+// The JSON layer moved to `revel-traffic` so scenario files and wire
+// frames share one parser; the re-export keeps `revel_serve::json` paths
+// (and the protocol's internal `crate::json` imports) working unchanged.
+pub use revel_traffic::json;

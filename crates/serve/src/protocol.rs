@@ -94,6 +94,25 @@ pub enum Request {
         /// Parameter string.
         params: String,
     },
+    /// Scripted chaos for scenario runs: SIGKILL one shard of the fleet
+    /// this frontend supervises (the supervisor respawns it). Inline, like
+    /// the other control-plane ops; a standalone server answers with a
+    /// structured `no_fleet` error. The victim is an explicit shard id or
+    /// the ring owner of a cell (`bench`/`params`/`arch`).
+    KillShard {
+        /// Explicit victim shard id; takes precedence over the cell.
+        shard: Option<u64>,
+        /// Victim-by-ownership: kernel name of the cell whose ring owner
+        /// dies. Meaningful only when `shard` is unset.
+        bench: Option<String>,
+        /// Parameter string of the ownership cell.
+        params: Option<String>,
+        /// Architecture of the ownership cell.
+        arch: Option<String>,
+        /// Also wipe the victim's snapshot directory before it respawns,
+        /// turning the warm restart into a cache-cold one.
+        wipe_snapshot: bool,
+    },
 }
 
 /// Engine-cache counters on the wire (mirrors
@@ -303,6 +322,13 @@ pub enum Response {
         /// the pre-hint protocol.
         retry_after_ms: Option<u64>,
     },
+    /// A scripted shard kill was delivered.
+    ShardKilled {
+        /// The shard that was killed.
+        shard: u64,
+        /// True when its snapshot directory was wiped before respawn.
+        wiped: bool,
+    },
     /// A structured failure.
     Error {
         /// Stable machine-readable kind (`bad_request`, `unknown_bench`,
@@ -462,6 +488,24 @@ pub fn encode_request(id: u64, req: &Request) -> String {
             fields.push(("bench".to_string(), Value::str(bench)));
             fields.push(("params".to_string(), Value::str(params)));
         }
+        Request::KillShard { shard, bench, params, arch, wipe_snapshot } => {
+            op("kill_shard");
+            if let Some(s) = shard {
+                fields.push(("shard".to_string(), Value::u64(*s)));
+            }
+            if let Some(b) = bench {
+                fields.push(("bench".to_string(), Value::str(b)));
+            }
+            if let Some(p) = params {
+                fields.push(("params".to_string(), Value::str(p)));
+            }
+            if let Some(a) = arch {
+                fields.push(("arch".to_string(), Value::str(a)));
+            }
+            if *wipe_snapshot {
+                fields.push(("wipe_snapshot".to_string(), Value::Bool(true)));
+            }
+        }
     }
     let mut line = Value::Obj(fields).render();
     line.push('\n');
@@ -515,6 +559,19 @@ pub fn decode_request(line: &str) -> Result<(u64, Request), ProtoError> {
         },
         "compare" => {
             Request::Compare { bench: req_str(&v, "bench")?, params: req_str(&v, "params")? }
+        }
+        "kill_shard" => {
+            let req = Request::KillShard {
+                shard: opt_u64(&v, "shard")?,
+                bench: v.get("bench").and_then(Value::as_str).map(str::to_string),
+                params: v.get("params").and_then(Value::as_str).map(str::to_string),
+                arch: v.get("arch").and_then(Value::as_str).map(str::to_string),
+                wipe_snapshot: opt_bool(&v, "wipe_snapshot")?,
+            };
+            if let Request::KillShard { shard: None, bench: None, .. } = &req {
+                return Err(bad("kill_shard needs a 'shard' id or a 'bench' cell"));
+            }
+            req
         }
         other => return Err(bad(format!("unknown op '{other}'"))),
     };
@@ -663,6 +720,13 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
             fields.push(("capacity".to_string(), Value::u64(*capacity)));
             if let Some(ms) = retry_after_ms {
                 fields.push(("retry_after_ms".to_string(), Value::u64(*ms)));
+            }
+        }
+        Response::ShardKilled { shard, wiped } => {
+            kind("shard_killed");
+            fields.push(("shard".to_string(), Value::u64(*shard)));
+            if *wiped {
+                fields.push(("wiped".to_string(), Value::Bool(true)));
             }
         }
         Response::Error { kind: k, message, retry_after_ms } => {
@@ -843,6 +907,9 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
             pending: req_u64(&v, "pending")?,
             first_divergence: opt_u64(&v, "first_divergence")?,
         },
+        "shard_killed" => {
+            Response::ShardKilled { shard: req_u64(&v, "shard")?, wiped: opt_bool(&v, "wiped")? }
+        }
         "overloaded" => Response::Overloaded {
             capacity: req_u64(&v, "capacity")?,
             retry_after_ms: opt_u64(&v, "retry_after_ms")?,

@@ -146,6 +146,10 @@ struct Shared {
     /// The shard fleet this server fronts, when routing instead of
     /// executing locally.
     fleet: Option<Arc<crate::fleet::Fleet>>,
+    /// Delivers a scripted `kill_shard` to the supervisor: `(shard, wipe
+    /// snapshot first)` → whether a live process was killed. Wired by the
+    /// fleet frontend binary; absent on standalone servers and shards.
+    kill_hook: Option<Box<dyn Fn(usize, bool) -> bool + Send + Sync>>,
     active_connections: AtomicU64,
     received: AtomicU64,
     completed: AtomicU64,
@@ -208,6 +212,7 @@ impl Server {
                 shard_id: cfg.shard_id,
                 port,
                 fleet: None,
+                kill_hook: None,
                 active_connections: AtomicU64::new(0),
                 received: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
@@ -225,6 +230,16 @@ impl Server {
     /// before [`Server::serve`].
     pub fn set_fleet(&mut self, fleet: Arc<crate::fleet::Fleet>) {
         self.shared.fleet = Some(fleet);
+    }
+
+    /// Attaches the scripted-kill hook (fleet frontend only): a
+    /// `kill_shard` request resolves its victim and calls
+    /// `hook(shard, wipe_snapshot)`, which SIGKILLs the shard process
+    /// (and wipes its snapshot directory first when asked) and reports
+    /// whether a live process was found. Must be called before
+    /// [`Server::serve`].
+    pub fn set_kill_hook(&mut self, hook: Box<dyn Fn(usize, bool) -> bool + Send + Sync>) {
+        self.shared.kill_hook = Some(hook);
     }
 
     /// The bound address (resolves port 0).
@@ -460,6 +475,16 @@ impl Conn {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 Some(Response::ShuttingDown)
             }
+            Request::KillShard { shard, bench, params, arch, wipe_snapshot } => {
+                Some(kill_shard_response(
+                    shared,
+                    *shard,
+                    bench.as_deref(),
+                    params.as_deref(),
+                    arch.as_deref(),
+                    *wipe_snapshot,
+                ))
+            }
             _ => None,
         };
         if let Some(resp) = inline {
@@ -669,6 +694,43 @@ fn worker_loop(shared: &Shared, slot: usize) {
     }
 }
 
+/// A scripted `kill_shard`: resolve the victim (explicit id, or the ring
+/// owner of a cell) and deliver the SIGKILL through the supervisor hook.
+/// Standalone servers and bare shards answer with a structured `no_fleet`
+/// error — the op only means something on a fleet frontend.
+fn kill_shard_response(
+    shared: &Shared,
+    shard: Option<u64>,
+    bench: Option<&str>,
+    params: Option<&str>,
+    arch: Option<&str>,
+    wipe_snapshot: bool,
+) -> Response {
+    let (Some(fleet), Some(hook)) = (&shared.fleet, &shared.kill_hook) else {
+        return Response::error(
+            "no_fleet",
+            "kill_shard needs a fleet frontend (--shards N); this server supervises no shards",
+        );
+    };
+    let victim = match shard {
+        Some(id) => id as usize,
+        None => {
+            let bench = bench.unwrap_or("");
+            match fleet.owner_of_cell(bench, params.unwrap_or(""), arch.unwrap_or("")) {
+                Some(id) => id,
+                None => {
+                    return Response::error("kill_failed", "no alive shard owns the cell");
+                }
+            }
+        }
+    };
+    if hook(victim, wipe_snapshot) {
+        Response::ShardKilled { shard: victim as u64, wiped: wipe_snapshot }
+    } else {
+        Response::error("kill_failed", format!("shard {victim} has no live process"))
+    }
+}
+
 /// The `fleet_stats` roster: the fleet's when one is attached, a
 /// single-row answer for a standalone server (it is its own shard 0).
 fn fleet_stats_response(shared: &Shared) -> Response {
@@ -786,7 +848,11 @@ fn execute(req: &Request, deadline: Option<Instant>) -> Response {
             None => unknown_bench(bench, params, "-"),
         },
         // Control-plane ops never reach the queue.
-        Request::Health | Request::Stats | Request::Shutdown | Request::FleetStats => {
+        Request::Health
+        | Request::Stats
+        | Request::Shutdown
+        | Request::FleetStats
+        | Request::KillShard { .. } => {
             Response::error("internal", "control-plane request routed to a worker")
         }
     }

@@ -99,7 +99,7 @@ fn router_forwards_keyed_requests_and_survives_a_shard_kill() {
 
     // SIGKILL the owner: the survivor re-simulates the cell and the answer
     // does not change by a byte.
-    assert!(sup.kill_shard(owner), "owner had a live process");
+    assert!(sup.kill_shard(owner, false), "owner had a live process");
     let second = c.request(&req).expect("failover simulate");
     assert_eq!(
         encode_response(1, &first),
@@ -136,7 +136,7 @@ fn respawned_shard_warm_starts_from_its_disk_tier() {
     let first = fleet.forward(&req);
     assert!(matches!(first, Response::Result { .. }), "{first:?}");
 
-    assert!(sup.kill_shard(0), "shard had a live process");
+    assert!(sup.kill_shard(0, false), "shard had a live process");
     assert!(
         wait_until(Duration::from_secs(30), || fleet.is_alive(0)),
         "shard respawns and probes healthy"

@@ -67,6 +67,20 @@ fn every_request() -> Vec<Request> {
             arch: "systolic".into(),
         },
         Request::Compare { bench: "gemm".into(), params: "12x16x64".into() },
+        Request::KillShard {
+            shard: Some(2),
+            bench: None,
+            params: None,
+            arch: None,
+            wipe_snapshot: true,
+        },
+        Request::KillShard {
+            shard: None,
+            bench: Some("solver".into()),
+            params: Some("n=12".into()),
+            arch: Some("revel".into()),
+            wipe_snapshot: false,
+        },
     ]
 }
 
@@ -156,6 +170,8 @@ fn every_response() -> Vec<Response> {
             clean: false,
             diagnostics: vec!["W001: unused port".into(), "E002: deadlock".into()],
         },
+        Response::ShardKilled { shard: 1, wiped: true },
+        Response::ShardKilled { shard: 0, wiped: false },
         Response::Overloaded { capacity: 64, retry_after_ms: None },
         Response::Overloaded { capacity: 1, retry_after_ms: Some(30) },
         Response::Error {
