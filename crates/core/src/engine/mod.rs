@@ -556,9 +556,15 @@ pub fn run_served(
     {
         let disk = e.disk.lock().expect("disk tier lock");
         if let Some(tier) = disk.as_ref() {
-            if let Some(run) = tier.lookup(key_fingerprint(bench, cfg, false)) {
-                e.disk_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Served::Disk(run.clone()));
+            // Failpoint on the served-run disk path: an injected error
+            // degrades to a cache miss (simulate instead of serving a
+            // possibly-suspect disk record); an armed abort crashes at
+            // the exact instant a reply would have come from disk.
+            if revel_failpoint::hit("engine.serve.disk-lookup").is_ok() {
+                if let Some(run) = tier.lookup(key_fingerprint(bench, cfg, false)) {
+                    e.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Served::Disk(run.clone()));
+                }
             }
         }
     }

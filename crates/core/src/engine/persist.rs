@@ -147,6 +147,13 @@ pub struct PersistentTier {
     dir: PathBuf,
     index: HashMap<(u64, u64), PersistedRun>,
     segment: File,
+    /// Set when an append failed partway: the segment tail may hold a
+    /// torn record, and appending more would bury valid records behind
+    /// garbage (the loader keeps only the prefix before the first
+    /// invalid byte). A wounded tier refuses further appends — lookups
+    /// still serve the in-memory index — until [`PersistentTier::snapshot`]
+    /// rewrites the whole tier and heals it.
+    wounded: bool,
 }
 
 impl PersistentTier {
@@ -180,7 +187,7 @@ impl PersistentTier {
             segment.flush()?;
         }
         let warm = WarmStart { entries: index.len(), cold_starts };
-        Ok((PersistentTier { dir: dir.to_path_buf(), index, segment }, warm))
+        Ok((PersistentTier { dir: dir.to_path_buf(), index, segment, wounded: false }, warm))
     }
 
     /// Entries currently serveable from the index.
@@ -203,19 +210,61 @@ impl PersistentTier {
     /// append-only, and one entry per configuration is the invariant the
     /// snapshot compaction restores anyway.
     ///
+    /// The record is written in two halves around the
+    /// `persist.append.mid-write` failpoint, so a torture schedule can
+    /// abort the process with a genuinely torn record on disk — a
+    /// crash between two `write_all` calls is the real-world shape an
+    /// in-kernel buffer cannot paper over. `persist.append.before-write`
+    /// and `persist.append.before-flush` bracket the other two
+    /// crash-critical instants.
+    ///
     /// # Errors
     /// Propagates write failures (the index is only updated after the
     /// record is flushed, so a failed append never desyncs index and
-    /// disk).
+    /// disk). Any failure wounds the tier (see [`PersistentTier::wounded`]):
+    /// the segment tail may be torn, and further appends are refused
+    /// with an error until a successful [`PersistentTier::snapshot`]
+    /// rewrites the tier. This is the fsync-gate lesson — after a failed
+    /// write the on-disk state is unknown, and pretending otherwise is
+    /// how torn tails bury good records.
     pub fn append(&mut self, fp: (u64, u64), run: &PersistedRun) -> io::Result<bool> {
         if self.index.contains_key(&fp) {
             return Ok(false);
         }
+        if self.wounded {
+            return Err(io::Error::other(
+                "tier wounded by an earlier failed append; snapshot() heals it",
+            ));
+        }
         let record = encode_record(fp, run);
-        self.segment.write_all(&record)?;
-        self.segment.flush()?;
+        if let Err(e) = self.write_record(&record) {
+            self.wounded = true;
+            return Err(e);
+        }
         self.index.insert(fp, run.clone());
         Ok(true)
+    }
+
+    fn write_record(&mut self, record: &[u8]) -> io::Result<()> {
+        revel_failpoint::hit_with("persist.append.before-write", || self.ctx())?;
+        let split = record.len() / 2;
+        self.segment.write_all(&record[..split])?;
+        revel_failpoint::hit_with("persist.append.mid-write", || self.ctx())?;
+        self.segment.write_all(&record[split..])?;
+        revel_failpoint::hit_with("persist.append.before-flush", || self.ctx())?;
+        self.segment.flush()
+    }
+
+    /// Failpoint context: arms filtered on this tier's directory fire
+    /// only here, which is what keeps concurrent tests independent.
+    fn ctx(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    /// True when an earlier failed append left the segment tail in an
+    /// unknown state and the tier is refusing appends.
+    pub fn wounded(&self) -> bool {
+        self.wounded
     }
 
     /// Compacts the whole index into a fresh snapshot: write to a
@@ -224,8 +273,17 @@ impl PersistentTier {
     /// or the new snapshot in place (plus, at worst, a stale segment
     /// whose records are re-deduplicated on load).
     ///
+    /// Failpoints bracket the three crash-critical instants —
+    /// `persist.snapshot.pre-sync` (data written, not yet durable),
+    /// `persist.snapshot.pre-rename` (durable under the temporary name),
+    /// and `persist.snapshot.post-rename` (renamed, segment not yet
+    /// truncated) — so torture schedules can crash at each and prove a
+    /// reader still sees a whole snapshot, old or new.
+    ///
     /// # Errors
-    /// Propagates write/rename failures.
+    /// Propagates write/rename failures. A failure leaves the previous
+    /// snapshot and the full segment untouched, so nothing is lost; the
+    /// tier's wounded flag (if set) stays set until a snapshot succeeds.
     pub fn snapshot(&mut self) -> io::Result<()> {
         let tmp = self.dir.join("snapshot.tmp");
         {
@@ -239,14 +297,19 @@ impl PersistentTier {
                 let run = &self.index[&fp];
                 f.write_all(&encode_record(fp, run))?;
             }
+            revel_failpoint::hit_with("persist.snapshot.pre-sync", || self.ctx())?;
             f.sync_all()?;
         }
+        revel_failpoint::hit_with("persist.snapshot.pre-rename", || self.ctx())?;
         fs::rename(&tmp, self.dir.join(SNAPSHOT))?;
+        revel_failpoint::hit_with("persist.snapshot.post-rename", || self.ctx())?;
         // The snapshot now covers everything; restart the segment.
         let mut segment = File::create(self.dir.join(SEGMENT))?;
         segment.write_all(&header())?;
         segment.flush()?;
         self.segment = OpenOptions::new().append(true).open(self.dir.join(SEGMENT))?;
+        // The rewrite subsumed any torn segment tail: the tier is whole.
+        self.wounded = false;
         Ok(())
     }
 }
@@ -549,6 +612,139 @@ mod tests {
             "got: {}",
             warm.cold_starts[0].reason
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite property test: truncate a K-record segment at **every**
+    /// byte offset and reopen. The recovered index must be exactly the
+    /// records whose CRC frames fit below the cut — never a panic, never
+    /// a garbage record, and a cold start exactly when the cut is not on
+    /// a record boundary.
+    #[test]
+    fn every_truncation_offset_recovers_exactly_the_full_crc_frames() {
+        let dir = tmp_dir("every-offset");
+        let (mut tier, _) = PersistentTier::open(&dir).expect("open");
+        // Varied record lengths (the error and text fields grow with i),
+        // so cuts land in every field of every record shape.
+        let entries: Vec<_> = (0..4).map(sample).collect();
+        // Byte offset at which each record ends (monotone; starts with
+        // the 12-byte header).
+        let mut bounds = vec![header().len()];
+        for (fp, run) in &entries {
+            tier.append(*fp, run).expect("append");
+            bounds.push(fs::metadata(dir.join(SEGMENT)).expect("segment metadata").len() as usize);
+        }
+        drop(tier);
+        let full = fs::read(dir.join(SEGMENT)).expect("read segment");
+        assert_eq!(*bounds.last().expect("bounds"), full.len());
+
+        for cut in 0..=full.len() {
+            fs::write(dir.join(SEGMENT), &full[..cut]).expect("truncate");
+            let (reopened, warm) = PersistentTier::open(&dir).expect("reopen never errors");
+            // Number of whole records at or below the cut (the header
+            // itself counts as "record 0 fits").
+            let whole =
+                if cut >= bounds[0] { bounds.iter().filter(|&&b| b <= cut).count() - 1 } else { 0 };
+            assert_eq!(warm.entries, whole, "cut at byte {cut}: exactly the full frames load");
+            for (i, (fp, run)) in entries.iter().enumerate() {
+                let expect = if i < whole { Some(run) } else { None };
+                assert_eq!(reopened.lookup(*fp), expect, "cut at byte {cut}, record {i}");
+            }
+            let clean = bounds.contains(&cut);
+            assert_eq!(
+                warm.cold_starts.len(),
+                usize::from(!clean),
+                "cut at byte {cut}: a cold start exactly when the cut tears a frame \
+                 (got {:?})",
+                warm.cold_starts
+            );
+            // `open` appended nothing and the truncated file is intact
+            // for the next iteration's rewrite.
+            drop(reopened);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// An injected I/O error mid-append (the failpoint splits the record
+    /// write in half) wounds the tier: the failed entry is not indexed,
+    /// further appends are refused, and a reopen serves exactly the
+    /// records from before the failure — the torn half-record degrades to
+    /// a structured cold start.
+    #[test]
+    fn failed_append_wounds_the_tier_and_reopen_recovers_the_prefix() {
+        let dir = tmp_dir("wounded");
+        let (mut tier, _) = PersistentTier::open(&dir).expect("open");
+        let (fp1, run1) = sample(1);
+        tier.append(fp1, &run1).expect("clean append");
+        let filter = dir.display().to_string();
+        revel_failpoint::arm(
+            "persist.append.mid-write",
+            &filter,
+            revel_failpoint::Action::InjectError,
+            1,
+            false,
+        );
+        let (fp2, run2) = sample(2);
+        let err = tier.append(fp2, &run2).expect_err("mid-write failpoint fires");
+        assert!(err.to_string().contains("injected"), "got: {err}");
+        revel_failpoint::disarm("persist.append.mid-write", &filter);
+        assert!(tier.wounded(), "a failed append wounds the tier");
+        assert_eq!(tier.lookup(fp2), None, "the failed entry is not indexed");
+        let (fp3, run3) = sample(3);
+        let refused = tier.append(fp3, &run3).expect_err("wounded tier refuses appends");
+        assert!(refused.to_string().contains("wounded"), "got: {refused}");
+        drop(tier);
+        let (reopened, warm) = PersistentTier::open(&dir).expect("reopen");
+        assert_eq!(warm.entries, 1, "the pre-failure prefix survives");
+        assert_eq!(warm.cold_starts.len(), 1, "the torn half-record is a cold start");
+        assert_eq!(reopened.lookup(fp1), Some(&run1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A successful snapshot heals a wounded tier (the rewrite subsumes
+    /// the torn tail), and a snapshot that fails before its atomic
+    /// rename leaves every record serveable on reopen.
+    #[test]
+    fn snapshot_heals_a_wounded_tier_and_a_failed_snapshot_loses_nothing() {
+        let dir = tmp_dir("snapheal");
+        let (mut tier, _) = PersistentTier::open(&dir).expect("open");
+        let (fp1, run1) = sample(1);
+        tier.append(fp1, &run1).expect("append");
+        let filter = dir.display().to_string();
+        // Wound the tier...
+        revel_failpoint::arm(
+            "persist.append.mid-write",
+            &filter,
+            revel_failpoint::Action::InjectError,
+            1,
+            false,
+        );
+        let (fp2, run2) = sample(2);
+        tier.append(fp2, &run2).expect_err("wounding append");
+        revel_failpoint::disarm("persist.append.mid-write", &filter);
+        // ...then fail a snapshot before the rename: still wounded, and
+        // nothing on disk moved.
+        revel_failpoint::arm(
+            "persist.snapshot.pre-rename",
+            &filter,
+            revel_failpoint::Action::InjectError,
+            1,
+            false,
+        );
+        tier.snapshot().expect_err("pre-rename failpoint fires");
+        revel_failpoint::disarm("persist.snapshot.pre-rename", &filter);
+        assert!(tier.wounded(), "a failed snapshot does not heal");
+        // A clean snapshot heals: appends work again and a reopen sees
+        // every surviving record with no cold start.
+        tier.snapshot().expect("clean snapshot");
+        assert!(!tier.wounded());
+        tier.append(fp2, &run2).expect("healed tier accepts appends");
+        drop(tier);
+        let (reopened, warm) = PersistentTier::open(&dir).expect("reopen");
+        assert_eq!(warm.entries, 2);
+        assert!(warm.cold_starts.is_empty(), "the rewrite subsumed the torn tail");
+        assert_eq!(reopened.lookup(fp1), Some(&run1));
+        assert_eq!(reopened.lookup(fp2), Some(&run2));
         let _ = fs::remove_dir_all(&dir);
     }
 

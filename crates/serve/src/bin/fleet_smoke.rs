@@ -223,6 +223,8 @@ fn main() {
         cache_capacity: None,
         chaos_rate: 0.0,
         chaos_seed: 0,
+        max_restarts: revel_serve::fleet::DEFAULT_MAX_RESTARTS,
+        failpoints: None,
         binary: serve_bin,
     };
     let mut router = Server::bind(&ServerConfig {

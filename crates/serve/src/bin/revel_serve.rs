@@ -22,13 +22,27 @@
 //! disk-backed result cache under `<dir>/shard-<i>` and warm-starts from
 //! it after a crash.
 
-use revel_serve::fleet::{Fleet, FleetConfig, Supervisor};
+use revel_serve::fleet::{Fleet, FleetConfig, Supervisor, DEFAULT_MAX_RESTARTS};
 use revel_serve::server::{Server, ServerConfig};
 use revel_serve::signal;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
+    // Fault-injection sites arm from the environment before anything
+    // else runs, so a supervisor can target a shard it is about to
+    // spawn (DESIGN.md §17).
+    match revel_failpoint::init_from_env() {
+        Ok(0) => {}
+        Ok(n) => {
+            eprintln!("revel-serve: {n} failpoint(s) armed from ${}", revel_failpoint::ENV_VAR)
+        }
+        Err(e) => {
+            eprintln!("revel-serve: bad ${}: {e}", revel_failpoint::ENV_VAR);
+            std::process::exit(2);
+        }
+    }
     let mut cfg = ServerConfig::default();
     let mut host = "127.0.0.1".to_string();
     let mut port = 7411u16;
@@ -48,6 +62,10 @@ fn main() {
             "--chaos-seed" => cfg.chaos_seed = parse(&val("--chaos-seed"), "--chaos-seed"),
             "--cache-capacity" => {
                 cache_capacity = Some(parse(&val("--cache-capacity"), "--cache-capacity"));
+            }
+            "--conn-timeout" => {
+                cfg.conn_timeout =
+                    Duration::from_secs(parse(&val("--conn-timeout"), "--conn-timeout"));
             }
             "--shards" => shards = parse(&val("--shards"), "--shards"),
             "--shard-id" => cfg.shard_id = Some(parse(&val("--shard-id"), "--shard-id")),
@@ -111,6 +129,8 @@ fn main() {
             cache_capacity,
             chaos_rate: cfg.chaos_rate,
             chaos_seed: cfg.chaos_seed,
+            max_restarts: DEFAULT_MAX_RESTARTS,
+            failpoints: None,
             binary: std::env::current_exe().unwrap_or_else(|e| {
                 eprintln!("revel-serve: cannot locate own binary: {e}");
                 std::process::exit(1);
@@ -182,7 +202,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: revel_serve [--host H] [--port P] [--workers N] [--queue N] [--cache-capacity N] \
-         [--chaos RATE] [--chaos-seed SEED] [--shards N] [--shard-id I] [--snapshot-dir DIR]"
+         [--chaos RATE] [--chaos-seed SEED] [--conn-timeout SECS] [--shards N] [--shard-id I] \
+         [--snapshot-dir DIR]"
     );
     std::process::exit(2);
 }

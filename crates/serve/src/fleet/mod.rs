@@ -34,4 +34,4 @@ pub mod supervisor;
 
 pub use placement::Ring;
 pub use router::Fleet;
-pub use supervisor::{FleetConfig, Supervisor};
+pub use supervisor::{FleetConfig, ShardFailpoints, Supervisor, DEFAULT_MAX_RESTARTS};

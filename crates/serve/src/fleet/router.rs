@@ -38,6 +38,12 @@ struct ShardHandle {
     /// Forward attempts against this shard that failed (connect or
     /// transport), each causing a failover to the next successor.
     failed: AtomicU64,
+    /// Times the supervisor respawned this shard's process (surfaced in
+    /// the `fleet_stats` roster).
+    restarts: AtomicU64,
+    /// Permanently evicted by the supervisor's restart circuit: never
+    /// marked up again, the ring routes around it for good.
+    evicted: AtomicBool,
     /// Idle connections, reused across forwards (a dead shard's pool is
     /// discarded when it is marked down).
     pool: Mutex<Vec<Client>>,
@@ -68,6 +74,8 @@ impl Fleet {
                 alive: AtomicBool::new(false),
                 routed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                restarts: AtomicU64::new(0),
+                evicted: AtomicBool::new(false),
                 pool: Mutex::new(Vec::new()),
             })
             .collect();
@@ -115,12 +123,42 @@ impl Fleet {
     }
 
     /// Marks a shard routable (supervisor, after a successful health
-    /// probe) and rebalances the ring to include it.
+    /// probe) and rebalances the ring to include it. Refused for an
+    /// evicted shard: the restart circuit's verdict is final.
     pub fn mark_up(&self, id: usize) {
         let Some(shard) = self.shards.get(id) else { return };
+        if shard.evicted.load(Ordering::SeqCst) {
+            return;
+        }
         if !shard.alive.swap(true, Ordering::SeqCst) {
             self.rebuild_ring();
         }
+    }
+
+    /// Permanently evicts a flapping shard (the supervisor's restart
+    /// circuit): marked down, flagged so [`Fleet::mark_up`] refuses it,
+    /// and the ring rebalances its keys to the survivors for good.
+    pub fn evict(&self, id: usize) {
+        let Some(shard) = self.shards.get(id) else { return };
+        shard.evicted.store(true, Ordering::SeqCst);
+        self.mark_down(id);
+    }
+
+    /// True once shard `id` has been permanently evicted.
+    pub fn is_evicted(&self, id: usize) -> bool {
+        self.shards.get(id).is_some_and(|s| s.evicted.load(Ordering::SeqCst))
+    }
+
+    /// Records one supervisor respawn of shard `id` (roster column).
+    pub fn record_restart(&self, id: usize) {
+        if let Some(shard) = self.shards.get(id) {
+            shard.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime respawns of shard `id` as recorded by the supervisor.
+    pub fn restarts(&self, id: usize) -> u64 {
+        self.shards.get(id).map_or(0, |s| s.restarts.load(Ordering::Relaxed))
     }
 
     /// Marks a shard unroutable (transport failure or process death),
@@ -177,26 +215,41 @@ impl Fleet {
     /// One forward attempt against one shard; `None` means the shard
     /// failed at the transport level (and was marked down — protocol-level
     /// errors from a live shard are real answers and returned as-is).
+    ///
+    /// A failure on a *pooled* connection gets one retry on a fresh
+    /// connection before the shard is condemned: the shard's
+    /// slow-loris armor closes idle keep-alive connections after its
+    /// `--conn-timeout`, and a pool entry that sat out the timeout must
+    /// read as a stale socket, not a dead shard. (Work-plane requests
+    /// are pure simulations, so the retry is idempotent.)
     fn try_forward(
         &self,
         shard: &ShardHandle,
         req: &Request,
         timeout: Duration,
     ) -> Option<Response> {
+        // Pop under a short-lived guard: holding the pool lock across the
+        // request would wedge everyone else who needs the pool (including
+        // the push-back below).
         let pooled = shard.pool.lock().expect("shard pool lock").pop();
-        let mut client = match pooled {
-            Some(c) => c,
-            None => match Client::connect(&shard.addr) {
-                Ok(c) => {
-                    let _ = c.set_read_timeout(Some(timeout));
-                    c
-                }
-                Err(_) => {
-                    shard.failed.fetch_add(1, Ordering::Relaxed);
-                    self.mark_down(shard.id);
-                    return None;
-                }
-            },
+        if let Some(mut client) = pooled {
+            if let Ok(resp) = client.request(req) {
+                shard.routed.fetch_add(1, Ordering::Relaxed);
+                shard.pool.lock().expect("shard pool lock").push(client);
+                return Some(resp);
+            }
+            // Stale pooled socket; fall through to a fresh connection.
+        }
+        let mut client = match Client::connect(&shard.addr) {
+            Ok(c) => {
+                let _ = c.set_read_timeout(Some(timeout));
+                c
+            }
+            Err(_) => {
+                shard.failed.fetch_add(1, Ordering::Relaxed);
+                self.mark_down(shard.id);
+                return None;
+            }
         };
         match client.request(req) {
             Ok(resp) => {
@@ -222,6 +275,8 @@ impl Fleet {
                 alive: s.alive.load(Ordering::SeqCst),
                 routed: s.routed.load(Ordering::Relaxed),
                 failed: s.failed.load(Ordering::Relaxed),
+                restarts: s.restarts.load(Ordering::Relaxed),
+                evicted: s.evicted.load(Ordering::SeqCst),
             })
             .collect()
     }
@@ -372,6 +427,24 @@ mod tests {
             other => panic!("expected fleet_unavailable, got {other:?}"),
         }
         assert!(resp.is_retryable(), "fleet_unavailable is transient by contract");
+    }
+
+    #[test]
+    fn an_evicted_shard_refuses_mark_up_and_surfaces_in_the_roster() {
+        let fleet = Fleet::new("127.0.0.1", &[1, 2]);
+        fleet.mark_up(0);
+        fleet.mark_up(1);
+        fleet.record_restart(0);
+        fleet.record_restart(0);
+        assert_eq!(fleet.restarts(0), 2);
+        fleet.evict(0);
+        assert!(fleet.is_evicted(0));
+        assert!(!fleet.is_alive(0), "eviction marks the shard down");
+        fleet.mark_up(0);
+        assert!(!fleet.is_alive(0), "the circuit's verdict is final");
+        let roster = fleet.roster();
+        assert!(roster[0].evicted && roster[0].restarts == 2, "{roster:?}");
+        assert!(!roster[1].evicted && roster[1].alive, "{roster:?}");
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The shard supervisor: spawns the worker processes, probes them
-//! healthy, respawns the dead, and tears the fleet down gracefully.
+//! healthy, respawns the dead with capped exponential backoff, and
+//! opens a restart circuit on flapping shards — a shard that keeps
+//! dying without ever probing healthy is marked permanently dead and
+//! evicted from the ring instead of being respawned forever.
 
 use super::router::Fleet;
 use crate::client::Client;
@@ -13,9 +16,18 @@ use std::time::{Duration, Instant};
 /// Supervisor sweep interval: how quickly a dead shard is noticed.
 const TICK: Duration = Duration::from_millis(100);
 
-/// Minimum gap between spawns of one shard (keeps a crash-looping shard
-/// from burning a core).
-const RESPAWN_BACKOFF: Duration = Duration::from_millis(500);
+/// First respawn delay after a death; doubles per consecutive respawn
+/// up to [`RESPAWN_BACKOFF_CAP`] and resets once the shard probes
+/// healthy.
+const RESPAWN_BACKOFF_FLOOR: Duration = Duration::from_millis(250);
+
+/// Ceiling of the exponential respawn backoff.
+const RESPAWN_BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Default [`FleetConfig::max_restarts`]: consecutive respawns (without
+/// an intervening healthy probe) before the circuit opens and the shard
+/// is permanently evicted.
+pub const DEFAULT_MAX_RESTARTS: u32 = 8;
 
 /// Read timeout on health probes of a freshly spawned shard.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
@@ -23,6 +35,22 @@ const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
 /// How long a graceful fleet shutdown waits for a shard process before
 /// killing it.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A failpoint spec the supervisor plants into one shard's environment
+/// ([`revel_failpoint::ENV_VAR`]): the torture harness's way of arming
+/// crash schedules inside a separate OS process.
+#[derive(Debug, Clone)]
+pub struct ShardFailpoints {
+    /// Which shard is the victim.
+    pub shard: usize,
+    /// The [`revel_failpoint::arm_spec`] string the shard arms at boot.
+    pub spec: String,
+    /// `false`: armed only on the initial spawn — the respawn comes back
+    /// clean (a transient crash). `true`: re-armed on every respawn —
+    /// the shard keeps crashing until the restart circuit evicts it (a
+    /// flapping shard).
+    pub every_spawn: bool,
+}
 
 /// How a fleet's worker shards are spawned.
 #[derive(Debug, Clone)]
@@ -48,6 +76,13 @@ pub struct FleetConfig {
     pub chaos_rate: f64,
     /// Chaos seed base; shard `i` gets `chaos_seed + i`.
     pub chaos_seed: u64,
+    /// Consecutive respawns without a healthy probe before the restart
+    /// circuit opens and the shard is permanently evicted
+    /// ([`DEFAULT_MAX_RESTARTS`] by default).
+    pub max_restarts: u32,
+    /// Failpoints to plant into one shard's environment (torture
+    /// harness only; `None` in production).
+    pub failpoints: Option<ShardFailpoints>,
     /// The `revel_serve` binary to spawn (the router passes its own
     /// `current_exe`; tests pass `CARGO_BIN_EXE_revel_serve`).
     pub binary: PathBuf,
@@ -69,6 +104,17 @@ struct ShardProcess {
     id: usize,
     child: Option<Child>,
     last_spawn: Instant,
+    /// Lifetime respawns (mirrored into the fleet roster).
+    restarts: u64,
+    /// Consecutive respawns without a healthy probe; at
+    /// `cfg.max_restarts` the circuit opens.
+    strikes: u32,
+    /// Current respawn delay (exponential, capped; resets when the
+    /// shard probes healthy).
+    backoff: Duration,
+    /// Circuit open: permanently dead, evicted from the ring, never
+    /// respawned or probed again.
+    dead: bool,
 }
 
 struct Inner {
@@ -79,9 +125,12 @@ struct Inner {
 
 /// Owns the shard processes. [`Supervisor::start`] spawns them plus a
 /// monitor thread that probes each shard healthy (flipping it routable in
-/// the [`Fleet`]), notices deaths, and respawns — a respawned shard
-/// warm-starts from its persistent tier and reclaims its ring slice once
-/// it answers a probe. [`Supervisor::shutdown`] drains the fleet.
+/// the [`Fleet`]), notices deaths, and respawns with capped exponential
+/// backoff — a respawned shard warm-starts from its persistent tier and
+/// reclaims its ring slice once it answers a probe, and a shard that
+/// flaps through `max_restarts` respawns without ever probing healthy is
+/// permanently evicted so the ring routes around it.
+/// [`Supervisor::shutdown`] drains the fleet.
 pub struct Supervisor {
     fleet: Arc<Fleet>,
     inner: Arc<Inner>,
@@ -97,8 +146,16 @@ impl Supervisor {
     pub fn start(fleet: Arc<Fleet>, cfg: FleetConfig) -> std::io::Result<Supervisor> {
         let mut procs = Vec::with_capacity(cfg.shards);
         for id in 0..cfg.shards {
-            let child = spawn_shard(&cfg, id)?;
-            procs.push(ShardProcess { id, child: Some(child), last_spawn: Instant::now() });
+            let child = spawn_shard(&cfg, id, 0)?;
+            procs.push(ShardProcess {
+                id,
+                child: Some(child),
+                last_spawn: Instant::now(),
+                restarts: 0,
+                strikes: 0,
+                backoff: RESPAWN_BACKOFF_FLOOR,
+                dead: false,
+            });
         }
         let inner = Arc::new(Inner { cfg, procs: Mutex::new(procs), stop: AtomicBool::new(false) });
         let monitor = {
@@ -169,31 +226,55 @@ impl Supervisor {
     }
 }
 
-/// One monitor pass: reap deaths, respawn (rate-limited), probe
-/// not-yet-routable shards healthy.
+/// One monitor pass: reap deaths, respawn (exponential backoff, circuit
+/// at `max_restarts` consecutive strikes), probe not-yet-routable shards
+/// healthy.
 fn sweep(fleet: &Fleet, inner: &Inner) {
     let mut procs = inner.procs.lock().expect("procs lock");
     for proc_ in procs.iter_mut() {
+        if proc_.dead {
+            continue;
+        }
         if let Some(child) = &mut proc_.child {
             if let Ok(Some(status)) = child.try_wait() {
-                eprintln!("revel-serve: shard {} exited ({status}); respawning", proc_.id);
+                eprintln!(
+                    "revel-serve: shard {} exited ({status}); respawning in {:?}",
+                    proc_.id, proc_.backoff
+                );
                 proc_.child = None;
                 fleet.mark_down(proc_.id);
             }
         }
-        if proc_.child.is_none() && proc_.last_spawn.elapsed() >= RESPAWN_BACKOFF {
-            match spawn_shard(&inner.cfg, proc_.id) {
-                Ok(child) => {
-                    proc_.child = Some(child);
-                    proc_.last_spawn = Instant::now();
+        if proc_.child.is_none() {
+            if proc_.strikes >= inner.cfg.max_restarts {
+                eprintln!(
+                    "revel-serve: shard {} flapping ({} respawn(s) without a healthy probe); \
+                     opening the restart circuit and evicting it from the ring",
+                    proc_.id, proc_.strikes
+                );
+                proc_.dead = true;
+                fleet.evict(proc_.id);
+                continue;
+            }
+            if proc_.last_spawn.elapsed() >= proc_.backoff {
+                proc_.restarts += 1;
+                proc_.strikes += 1;
+                fleet.record_restart(proc_.id);
+                proc_.backoff = (proc_.backoff * 2).min(RESPAWN_BACKOFF_CAP);
+                match spawn_shard(&inner.cfg, proc_.id, proc_.restarts) {
+                    Ok(child) => proc_.child = Some(child),
+                    Err(e) => {
+                        eprintln!("revel-serve: shard {} respawn failed: {e}", proc_.id);
+                    }
                 }
-                Err(e) => {
-                    eprintln!("revel-serve: shard {} respawn failed: {e}", proc_.id);
-                    proc_.last_spawn = Instant::now();
-                }
+                proc_.last_spawn = Instant::now();
             }
         }
         if proc_.child.is_some() && !fleet.is_alive(proc_.id) && probe(inner, proc_.id) {
+            // A healthy probe closes the strike window: the next death
+            // starts the backoff ladder from the floor again.
+            proc_.strikes = 0;
+            proc_.backoff = RESPAWN_BACKOFF_FLOOR;
             fleet.mark_up(proc_.id);
         }
     }
@@ -208,7 +289,12 @@ fn probe(inner: &Inner, id: usize) -> bool {
     matches!(client.request(&Request::Health), Ok(Response::Health { .. }))
 }
 
-fn spawn_shard(cfg: &FleetConfig, id: usize) -> std::io::Result<Child> {
+/// Spawn attempt `spawn_no` (0 = initial) of shard `id`. The
+/// `supervisor.respawn` failpoint (context: the fleet's base port) sits
+/// at the top so schedules can fail the spawn itself; the configured
+/// [`ShardFailpoints`] ride into the child's environment.
+fn spawn_shard(cfg: &FleetConfig, id: usize, spawn_no: u64) -> std::io::Result<Child> {
+    revel_failpoint::hit_with("supervisor.respawn", || cfg.base_port.to_string())?;
     let mut cmd = Command::new(&cfg.binary);
     cmd.arg("--host")
         .arg(&cfg.host)
@@ -231,6 +317,14 @@ fn spawn_shard(cfg: &FleetConfig, id: usize) -> std::io::Result<Child> {
             .arg(cfg.chaos_rate.to_string())
             .arg("--chaos-seed")
             .arg((cfg.chaos_seed + id as u64).to_string());
+    }
+    // Never let a spec in the frontend's own environment leak into every
+    // shard; the victim (and only the victim) gets its plan explicitly.
+    cmd.env_remove(revel_failpoint::ENV_VAR);
+    if let Some(fp) = &cfg.failpoints {
+        if fp.shard == id && (spawn_no == 0 || fp.every_spawn) {
+            cmd.env(revel_failpoint::ENV_VAR, &fp.spec);
+        }
     }
     // Shard diagnostics ride the router's stderr; stdout stays quiet.
     cmd.stdout(Stdio::null()).stderr(Stdio::inherit()).stdin(Stdio::null());

@@ -174,6 +174,13 @@ pub struct ShardStatsWire {
     pub routed: u64,
     /// Forward attempts that failed over to another shard.
     pub failed: u64,
+    /// Times the supervisor respawned this shard's process. Decoded as
+    /// 0 from legacy frames.
+    pub restarts: u64,
+    /// True once the supervisor's restart circuit permanently evicted
+    /// the shard (it flapped through `max_restarts` respawns without
+    /// ever probing healthy). Decoded as false from legacy frames.
+    pub evicted: bool,
 }
 
 /// Schedule-cache counters on the wire (mirrors
@@ -201,6 +208,14 @@ pub struct ServerStatsWire {
     pub timed_out: u64,
     /// Requests answered with a structured error.
     pub errors: u64,
+    /// Connections closed by the slow-loris armor: no complete frame
+    /// (with nothing owed) within the server's `--conn-timeout`.
+    /// Decoded as 0 from legacy frames.
+    pub conn_timeouts: u64,
+    /// Connections dropped because their unread replies overflowed the
+    /// per-connection write-buffer byte cap. Decoded as 0 from legacy
+    /// frames.
+    pub write_overflows: u64,
 }
 
 /// A response, minus its envelope `id`.
@@ -638,6 +653,8 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                     ("overloaded", server.overloaded),
                     ("timed_out", server.timed_out),
                     ("errors", server.errors),
+                    ("conn_timeouts", server.conn_timeouts),
+                    ("write_overflows", server.write_overflows),
                 ]),
             ));
         }
@@ -656,6 +673,8 @@ pub fn encode_response(id: u64, resp: &Response) -> String {
                                 ("alive".to_string(), Value::Bool(s.alive)),
                                 ("routed".to_string(), Value::u64(s.routed)),
                                 ("failed".to_string(), Value::u64(s.failed)),
+                                ("restarts".to_string(), Value::u64(s.restarts)),
+                                ("evicted".to_string(), Value::Bool(s.evicted)),
                             ])
                         })
                         .collect(),
@@ -801,6 +820,9 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                 "server",
                 &["received", "completed", "overloaded", "timed_out", "errors"],
             )?;
+            let srv_obj = v.get("server").ok_or_else(|| bad("missing object field 'server'"))?;
+            let conn_timeouts = opt_u64(srv_obj, "conn_timeouts")?.unwrap_or(0);
+            let write_overflows = opt_u64(srv_obj, "write_overflows")?.unwrap_or(0);
             Response::Stats {
                 engine: EngineStatsWire {
                     hits: e[0],
@@ -827,6 +849,8 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                     overloaded: srv[2],
                     timed_out: srv[3],
                     errors: srv[4],
+                    conn_timeouts,
+                    write_overflows,
                 },
             }
         }
@@ -847,6 +871,10 @@ pub fn decode_response(line: &str) -> Result<(u64, Response), ProtoError> {
                             .ok_or_else(|| bad("missing boolean field 'alive'"))?,
                         routed: req_u64(s, "routed")?,
                         failed: req_u64(s, "failed")?,
+                        // Post-v1 roster columns: optional on decode so
+                        // legacy frames stay decodable.
+                        restarts: opt_u64(s, "restarts")?.unwrap_or(0),
+                        evicted: s.get("evicted").and_then(Value::as_bool).unwrap_or(false),
                     })
                 })
                 .collect::<Result<Vec<_>, ProtoError>>()?,

@@ -58,6 +58,15 @@ const POLL_INTERVAL: Duration = Duration::from_millis(10);
 /// that made no progress.
 const IDLE_FLOOR: Duration = Duration::from_micros(500);
 
+/// Default [`ServerConfig::conn_timeout`]: how long a connection may sit
+/// without completing a frame (while owing nothing) before the
+/// slow-loris armor closes it.
+pub const DEFAULT_CONN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default [`ServerConfig::wbuf_limit`]: per-connection cap on unread
+/// reply bytes before the connection is dropped as a non-draining peer.
+pub const DEFAULT_WBUF_LIMIT: usize = 1 << 20;
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -77,6 +86,17 @@ pub struct ServerConfig {
     /// Shard id reported by the `health` op when this process runs as a
     /// fleet shard; `None` for a standalone server or the fleet frontend.
     pub shard_id: Option<u64>,
+    /// Slow-loris armor: a connection that has not completed a frame
+    /// within this window — while owing no replies — is closed and
+    /// counted. `Duration::ZERO` disables the deadline. In-flight work
+    /// is never expired: a connection waiting on a long simulation owes
+    /// a reply and is exempt until it is flushed.
+    pub conn_timeout: Duration,
+    /// Per-connection cap on buffered-but-unread reply **bytes** (not
+    /// frames): a peer that stops draining its socket while replies
+    /// accumulate past this bound is disconnected and counted instead
+    /// of growing the write buffer without limit.
+    pub wbuf_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +108,8 @@ impl Default for ServerConfig {
             chaos_rate: 0.0,
             chaos_seed: 0,
             shard_id: None,
+            conn_timeout: DEFAULT_CONN_TIMEOUT,
+            wbuf_limit: DEFAULT_WBUF_LIMIT,
         }
     }
 }
@@ -108,19 +130,28 @@ pub struct FinalStats {
     pub errors: u64,
     /// Chaos-mode fault injections (panics, delays, fault-plan runs).
     pub injected: u64,
+    /// Connections closed by the slow-loris deadline (no complete frame,
+    /// nothing owed, `conn_timeout` elapsed).
+    pub conn_timeouts: u64,
+    /// Connections dropped for overflowing the per-connection
+    /// write-buffer byte cap.
+    pub write_overflows: u64,
 }
 
 impl std::fmt::Display for FinalStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "received {}, completed {}, overloaded {}, timed_out {}, errors {}, injected {}",
+            "received {}, completed {}, overloaded {}, timed_out {}, errors {}, injected {}, \
+             conn_timeouts {}, write_overflows {}",
             self.received,
             self.completed,
             self.overloaded,
             self.timed_out,
             self.errors,
-            self.injected
+            self.injected,
+            self.conn_timeouts,
+            self.write_overflows
         )
     }
 }
@@ -150,6 +181,10 @@ struct Shared {
     /// snapshot first)` → whether a live process was killed. Wired by the
     /// fleet frontend binary; absent on standalone servers and shards.
     kill_hook: Option<Box<dyn Fn(usize, bool) -> bool + Send + Sync>>,
+    /// Slow-loris deadline (`Duration::ZERO` disables it).
+    conn_timeout: Duration,
+    /// Per-connection unread-reply byte cap.
+    wbuf_limit: usize,
     active_connections: AtomicU64,
     received: AtomicU64,
     completed: AtomicU64,
@@ -157,6 +192,8 @@ struct Shared {
     timed_out: AtomicU64,
     errors: AtomicU64,
     injected: AtomicU64,
+    conn_timeouts: AtomicU64,
+    write_overflows: AtomicU64,
 }
 
 impl Shared {
@@ -172,6 +209,8 @@ impl Shared {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             injected: self.injected.load(Ordering::Relaxed),
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            write_overflows: self.write_overflows.load(Ordering::Relaxed),
         }
     }
 
@@ -213,6 +252,8 @@ impl Server {
                 port,
                 fleet: None,
                 kill_hook: None,
+                conn_timeout: cfg.conn_timeout,
+                wbuf_limit: cfg.wbuf_limit.max(1),
                 active_connections: AtomicU64::new(0),
                 received: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
@@ -220,6 +261,8 @@ impl Server {
                 timed_out: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 injected: AtomicU64::new(0),
+                conn_timeouts: AtomicU64::new(0),
+                write_overflows: AtomicU64::new(0),
             },
         })
     }
@@ -283,6 +326,10 @@ impl Server {
 /// Escalating idle backoff for the event loop: a tick that made progress
 /// resets to busy polling, consecutive idle ticks double the sleep from
 /// [`IDLE_FLOOR`] up to [`POLL_INTERVAL`].
+/// Frames one connection may feed through a single pump sweep before the
+/// flush stage (and everyone else's sweep) gets its turn.
+const READ_BATCH: u32 = 128;
+
 struct ReadinessWheel {
     idle_ticks: u32,
 }
@@ -322,6 +369,9 @@ struct Conn {
     pending: VecDeque<Pending>,
     /// Stop reading new frames; flush what is owed, then close.
     closing: bool,
+    /// When the connection last completed a frame (or was accepted):
+    /// the clock the slow-loris deadline runs against.
+    last_frame: Instant,
 }
 
 impl Conn {
@@ -336,6 +386,7 @@ impl Conn {
             wpos: 0,
             pending: VecDeque::new(),
             closing: false,
+            last_frame: Instant::now(),
         })
     }
 
@@ -345,12 +396,31 @@ impl Conn {
         self.closing && self.pending.is_empty() && self.wpos == self.wbuf.len()
     }
 
+    /// Slow-loris expiry: the connection owes nothing (no pending
+    /// replies, write buffer drained) yet has not completed a frame
+    /// within `timeout`. Connections waiting on in-flight work are
+    /// exempt — a slow *simulation* is the server's fault, not the
+    /// client's.
+    fn idle_expired(&self, now: Instant, timeout: Duration) -> bool {
+        !self.closing
+            && timeout > Duration::ZERO
+            && self.pending.is_empty()
+            && self.wpos == self.wbuf.len()
+            && now.duration_since(self.last_frame) >= timeout
+    }
+
     /// One readiness sweep: read and admit frames, move completed replies
     /// into the write buffer (in order), flush. Returns true if anything
     /// advanced.
     fn pump(&mut self, shared: &Shared) -> bool {
         let mut progress = false;
-        while !self.closing {
+        // Bounded read batch: a client that floods frames faster than we
+        // parse them must not pin this sweep in the read loop forever —
+        // the flush stage (and the write-buffer cap) below have to run,
+        // and the other connections have to get their turn.
+        let mut batch = 0u32;
+        while !self.closing && batch < READ_BATCH {
+            batch += 1;
             match self.frames.next_frame() {
                 Ok(None) => {
                     // Client closed its write side; owed replies still
@@ -373,6 +443,7 @@ impl Conn {
                 }
                 Ok(Some(Frame::Line(line))) => {
                     progress = true;
+                    self.last_frame = Instant::now();
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -411,6 +482,16 @@ impl Conn {
             self.wbuf.extend_from_slice(frame.as_bytes());
             progress = true;
         }
+        // Failpoint on the reply write path (context: this server's
+        // port): an injected error reads as a vanished peer, an armed
+        // abort crashes the process with replies half-flushed.
+        if self.wpos < self.wbuf.len()
+            && revel_failpoint::hit_with("serve.reply.pre-write", || shared.port.to_string())
+                .is_err()
+        {
+            self.fail();
+            return true;
+        }
         // Flush as much as the socket accepts.
         while self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
@@ -433,6 +514,13 @@ impl Conn {
         if self.wpos == self.wbuf.len() && self.wpos > 0 {
             self.wbuf.clear();
             self.wpos = 0;
+        }
+        // Overload armor: a peer that stops draining while replies pile
+        // up past the byte cap is dropped, not buffered without bound.
+        if self.wbuf.len() - self.wpos > shared.wbuf_limit {
+            shared.write_overflows.fetch_add(1, Ordering::Relaxed);
+            self.fail();
+            progress = true;
         }
         progress
     }
@@ -568,6 +656,21 @@ fn event_loop(listener: &TcpListener, shared: &Shared) -> std::io::Result<()> {
         shared.active_connections.store(conns.len() as u64, Ordering::Relaxed);
         for conn in &mut conns {
             progress |= conn.pump(shared);
+        }
+        // Slow-loris sweep, piggybacked on idle ticks (the readiness
+        // wheel only idles when no connection advanced, so a busy loop
+        // never pays for expiry scans): close and count connections that
+        // owe nothing and have not completed a frame within the
+        // deadline.
+        if !progress {
+            let now = Instant::now();
+            for conn in &mut conns {
+                if conn.idle_expired(now, shared.conn_timeout) {
+                    shared.conn_timeouts.fetch_add(1, Ordering::Relaxed);
+                    conn.fail();
+                    progress = true;
+                }
+            }
         }
         let before = conns.len();
         conns.retain(|c| !c.done());
@@ -743,6 +846,8 @@ fn fleet_stats_response(shared: &Shared) -> Response {
                 alive: true,
                 routed: shared.completed.load(Ordering::Relaxed),
                 failed: 0,
+                restarts: 0,
+                evicted: false,
             }],
         },
     }
@@ -756,6 +861,8 @@ fn stats_response(shared: &Shared) -> Response {
         overloaded: f.overloaded,
         timed_out: f.timed_out,
         errors: f.errors,
+        conn_timeouts: f.conn_timeouts,
+        write_overflows: f.write_overflows,
     };
     if let Some(fleet) = &shared.fleet {
         // The frontend's own engine is idle; the counters that matter

@@ -23,6 +23,7 @@ fn start_chaos(
         chaos_rate,
         chaos_seed,
         shard_id: None,
+        ..Default::default()
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();

@@ -7,7 +7,7 @@
 use revel_serve::client::Client;
 use revel_serve::fleet::placement::Ring;
 use revel_serve::fleet::router::route_fingerprint;
-use revel_serve::fleet::{Fleet, FleetConfig, Supervisor};
+use revel_serve::fleet::{Fleet, FleetConfig, Supervisor, DEFAULT_MAX_RESTARTS};
 use revel_serve::protocol::{encode_response, Request, Response};
 use revel_serve::server::{Server, ServerConfig};
 use std::path::PathBuf;
@@ -25,6 +25,8 @@ fn fleet_cfg(shards: usize, base_port: u16, snapshot_dir: Option<PathBuf>) -> Fl
         cache_capacity: None,
         chaos_rate: 0.0,
         chaos_seed: 0,
+        max_restarts: DEFAULT_MAX_RESTARTS,
+        failpoints: None,
         binary: PathBuf::from(env!("CARGO_BIN_EXE_revel_serve")),
     }
 }
@@ -165,6 +167,47 @@ fn respawned_shard_warm_starts_from_its_disk_tier() {
 
     sup.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The restart circuit: a shard whose respawns keep failing is struck
+/// out after `max_restarts` attempts, permanently evicted from the
+/// ring, and the fleet degrades to a structured retryable error instead
+/// of respawning forever. The `supervisor.respawn` failpoint (scoped to
+/// this fleet's base port) makes every respawn attempt fail.
+#[test]
+fn flapping_shard_trips_the_restart_circuit_and_is_evicted() {
+    let mut cfg = fleet_cfg(1, 7560, None);
+    cfg.max_restarts = 2;
+    let fleet = Arc::new(Fleet::new(&cfg.host, &cfg.shard_ports()));
+    let sup = Supervisor::start(Arc::clone(&fleet), cfg).expect("spawn shard");
+    assert!(fleet.wait_alive(1, Duration::from_secs(30)), "shard comes up");
+
+    revel_failpoint::arm(
+        "supervisor.respawn",
+        "7560",
+        revel_failpoint::Action::InjectError,
+        1,
+        true,
+    );
+    assert!(sup.kill_shard(0, false), "shard had a live process");
+    assert!(
+        wait_until(Duration::from_secs(30), || fleet.is_evicted(0)),
+        "circuit opens after max_restarts failed respawns"
+    );
+    revel_failpoint::disarm("supervisor.respawn", "7560");
+
+    let roster = fleet.roster();
+    assert!(roster[0].evicted, "{roster:?}");
+    assert!(!roster[0].alive, "{roster:?}");
+    assert_eq!(roster[0].restarts, 2, "exactly max_restarts attempts: {roster:?}");
+    match fleet.forward(&simulate_req("solver", "n=12", "revel")) {
+        Response::Error { kind, retry_after_ms, .. } => {
+            assert_eq!(kind, "fleet_unavailable");
+            assert!(retry_after_ms.is_some(), "the error must be retryable");
+        }
+        other => panic!("expected fleet_unavailable, got {other:?}"),
+    }
+    sup.shutdown();
 }
 
 /// Satellite gate: `revel_serve --cache-capacity` bounds the in-memory

@@ -340,6 +340,96 @@ fn malformed_and_oversized_frames_never_kill_the_server() {
     assert!(stats.errors >= 2, "both rejections counted: {stats}");
 }
 
+/// Slow-loris armor: a connection that never completes a frame is closed
+/// at `conn_timeout` and counted — while a connection whose request is
+/// legitimately in flight (a slow *simulation* is the server's debt, not
+/// the client's) survives far past the idle deadline.
+#[test]
+fn slow_loris_connections_expire_while_inflight_work_is_exempt() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 8,
+        conn_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // In-flight work, three times the idle deadline long.
+    let mut slow_work = Client::connect(&addr).expect("connect");
+    let inflight = std::thread::spawn(move || slow_work.request(&Request::Sleep { ms: 600 }));
+
+    // The loris: half a frame, then silence. The server must close the
+    // connection instead of holding it open forever.
+    let mut loris = std::net::TcpStream::connect(&addr).expect("connect");
+    loris.write_all(b"{\"id\":1,\"op\":").expect("half frame");
+    loris.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut buf = Vec::new();
+    match loris.read_to_end(&mut buf) {
+        Ok(_) => {} // clean FIN
+        Err(e) => assert!(
+            e.kind() != std::io::ErrorKind::WouldBlock && e.kind() != std::io::ErrorKind::TimedOut,
+            "expired connection must be closed, not left hanging: {e}"
+        ),
+    }
+
+    // The exempt client's answer arrived despite outliving the deadline.
+    assert_eq!(inflight.join().unwrap().expect("in-flight work"), Response::Slept { ms: 600 });
+
+    shutdown(&addr);
+    let stats = handle.join().expect("server thread");
+    assert!(stats.conn_timeouts >= 1, "the loris was counted: {stats}");
+    assert_eq!(stats.errors, 0, "a timeout is not a protocol error: {stats}");
+}
+
+/// Overload armor: a peer that floods requests and never drains a reply
+/// byte is disconnected once the unread reply bytes pass `wbuf_limit`,
+/// and the drop is counted — the server never buffers without bound.
+#[test]
+fn a_peer_that_stops_draining_is_dropped_at_the_write_buffer_cap() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        wbuf_limit: 4096,
+        ..Default::default()
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // Pump control-plane requests (answered inline, so replies pile up
+    // immediately) without ever reading; once the kernel buffers fill,
+    // the server's per-connection write buffer crosses the cap and the
+    // connection is dropped — our writes start failing.
+    let mut greedy = std::net::TcpStream::connect(&addr).expect("connect");
+    greedy.set_write_timeout(Some(Duration::from_secs(5))).expect("write timeout");
+    let req = b"{\"id\":1,\"op\":\"stats\"}\n";
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut dropped = false;
+    while std::time::Instant::now() < deadline {
+        if greedy.write_all(req).is_err() {
+            // Reset, broken pipe, or a write that sat blocked for 5s —
+            // each means the server stopped reading us: it dropped the
+            // connection at the cap.
+            dropped = true;
+            break;
+        }
+    }
+    assert!(dropped, "the server must disconnect a peer that never drains");
+    drop(greedy);
+
+    // The server survived: a fresh, well-behaved client works end-to-end.
+    let mut c = Client::connect(&addr).expect("connect after the flood");
+    assert_eq!(c.request(&Request::Sleep { ms: 1 }).expect("sleep"), Response::Slept { ms: 1 });
+
+    shutdown(&addr);
+    let stats = handle.join().expect("server thread");
+    assert!(stats.write_overflows >= 1, "the overflow was counted: {stats}");
+}
+
 /// Batched simulation over the wire: a certified grid cell's
 /// `simulate_batch` takes the trace-replay path (visible in the engine's
 /// `batched_replays` counter), answers with a per-lane-verified summary

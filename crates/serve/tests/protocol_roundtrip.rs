@@ -102,8 +102,24 @@ fn every_response() -> Vec<Response> {
         },
         Response::FleetStats {
             shards: vec![
-                ShardStatsWire { shard: 0, port: 7412, alive: true, routed: 120, failed: 0 },
-                ShardStatsWire { shard: 1, port: 7413, alive: false, routed: 33, failed: 2 },
+                ShardStatsWire {
+                    shard: 0,
+                    port: 7412,
+                    alive: true,
+                    routed: 120,
+                    failed: 0,
+                    restarts: 0,
+                    evicted: false,
+                },
+                ShardStatsWire {
+                    shard: 1,
+                    port: 7413,
+                    alive: false,
+                    routed: 33,
+                    failed: 2,
+                    restarts: 3,
+                    evicted: true,
+                },
             ],
         },
         Response::FleetStats { shards: vec![] },
@@ -133,6 +149,8 @@ fn every_response() -> Vec<Response> {
                 overloaded: 1,
                 timed_out: 2,
                 errors: 1,
+                conn_timeouts: 3,
+                write_overflows: 1,
             },
         },
         Response::ShuttingDown,

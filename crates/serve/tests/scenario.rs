@@ -16,6 +16,7 @@ fn start(workers: usize, queue_capacity: usize) -> (String, std::thread::JoinHan
         chaos_rate: 0.0,
         chaos_seed: 0,
         shard_id: None,
+        ..Default::default()
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
